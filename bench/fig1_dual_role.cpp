@@ -1,0 +1,118 @@
+// FIG1 — the paper's Figure 1, end to end: the campus network serving
+// as data source AND testbed in one run.
+//
+//   campus traffic --> privacy-preserving collection --> data store
+//        ^                                                  |
+//        |                                                  v
+//   deployable model <-- XAI extraction <-- learning algorithms
+//
+// One simulated run reports every stage's throughput and outcome: what
+// crossed the wire, what capture kept, what the store indexed, what the
+// learning pipeline produced, and how the resulting deployable model
+// performed back on the same campus. This is the dual-role claim made
+// measurable.
+#include <cstdio>
+
+#include "campuslab/control/fast_loop.h"
+#include "campuslab/privacy/anonymize.h"
+#include "campuslab/testbed/report.h"
+#include "campuslab/testbed/safety.h"
+#include "campuslab/testbed/testbed.h"
+
+using namespace campuslab;
+
+int main() {
+  std::puts("=== FIG1: campus network as data source + testbed ===\n");
+
+  // ---- Data-source phase: a campus hour slice with an incident. -----
+  testbed::TestbedConfig cfg;
+  cfg.scenario.campus.seed = 4242;
+  cfg.scenario.campus.load_scale = 1.0;
+  sim::DnsAmplificationConfig amp;
+  amp.start = Timestamp::from_seconds(60);
+  amp.duration = Duration::seconds(60);
+  amp.response_rate_pps = 1500;
+  amp.response_bytes = 2200;
+  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.collector.labeling.binary_target =
+      packet::TrafficLabel::kDnsAmplification;
+  cfg.collector.attack_sample_rate = 0.3;
+  cfg.collector.seed = 4243;
+  testbed::Testbed bed(cfg);
+
+  const double sim_seconds = 240;
+  bed.run(Duration::from_seconds(sim_seconds));
+  const auto dataset = bed.harvest_dataset();
+
+  const auto& cap = bed.capture_engine().stats();
+  const auto catalog = bed.store().catalog();
+  std::puts("[stage 1] campus wire -> capture tap");
+  std::printf("  %.0f simulated seconds, %llu frames on the wire "
+              "(%.0f pps avg, %.2f Gbps avg)\n",
+              sim_seconds, (unsigned long long)cap.offered,
+              cap.offered / sim_seconds,
+              cap.offered_bytes * 8.0 / sim_seconds / 1e9);
+  std::printf("  lossless: %llu dropped (%.5f%%)\n",
+              (unsigned long long)cap.dropped, 100 * cap.loss_rate());
+
+  std::puts("[stage 2] capture -> data store (+ on-the-fly metadata)");
+  std::printf("  %llu flow records indexed in %zu segments; "
+              "%llu labelled attack flows\n",
+              (unsigned long long)catalog.total_flows, catalog.segments,
+              (unsigned long long)(catalog.total_flows -
+                                   catalog.flows_per_label[0]));
+
+  std::puts("[stage 3] store -> learning algorithms");
+  const auto counts = dataset.class_counts();
+  std::printf("  packet training set: %zu rows (%zu benign / %zu attack),"
+              " %zu features\n",
+              dataset.n_rows(), counts[0], counts[1],
+              dataset.n_features());
+
+  control::DevelopmentConfig dev;
+  dev.teacher.n_trees = 30;
+  dev.teacher.seed = 4244;
+  dev.extraction.seed = 4245;
+  const auto package = control::DevelopmentLoop(dev).run(dataset);
+  if (!package.ok()) {
+    std::printf("  development loop failed: %s\n",
+                package.error().message.c_str());
+    return 1;
+  }
+  std::printf("  teacher acc %.4f -> deployable tree acc %.4f "
+              "(fidelity %.4f), %zu nodes, %s\n",
+              package.value().teacher_holdout_accuracy,
+              package.value().student_holdout_accuracy,
+              package.value().holdout_fidelity,
+              package.value().student.node_count(),
+              package.value().resources.to_string().c_str());
+
+  std::puts("[stage 4] deployable model -> back onto the campus "
+            "(testbed role)");
+  testbed::TestbedConfig replay = cfg;
+  replay.scenario.campus.seed = 5151;  // a different day
+  replay.scenario.dns_amplification[0].start =
+      Timestamp::from_seconds(30);
+  replay.collector.benign_sample_rate = 0.01;
+  replay.collector.attack_sample_rate = 0.01;
+  testbed::Testbed road(replay);
+  auto loop = control::FastLoop::deploy(package.value());
+  if (!loop.ok()) return 1;
+  testbed::SafetyMonitor safety(*loop.value(), testbed::SafetyConfig{});
+  safety.install(road.network());
+  road.run(Duration::from_seconds(150));
+
+  const auto& m = loop.value()->stats();
+  std::printf("  inspected %llu packets at %.0f ns each\n",
+              (unsigned long long)m.inspected,
+              loop.value()->latency_ns().mean());
+  std::printf("  attack blocked %.4f | drop precision %.4f | benign "
+              "loss %.5f | safety %s\n",
+              m.attack_block_rate(), m.drop_precision(),
+              m.benign_loss_rate(),
+              safety.rolled_back() ? "ROLLED BACK" : "held");
+  std::puts("\nshape: one platform closes the loop from wire to "
+            "deployed, explained, safe mitigation — the dual role of "
+            "Figure 1.");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// T-CAP — §5's "continuous, lossless, full packet capture at scale ...
+// at link speeds of up to 100 Gbps or higher".
+//
+// Two parts:
+//   1. google-benchmark microbenches of the capture hot path (ring
+//      push/pop single- and two-threaded) establishing the packets/sec
+//      ceiling of this host.
+//   2. A printed loss table: offered load (Gbps-equivalent IMIX) vs
+//      ring capacity, with a deliberately paced consumer, reproducing
+//      the knee where "lossless" stops being true — the paper's reason
+//      campus-scale (10-20G) is tractable where carrier-scale is not.
+#include <benchmark/benchmark.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+#include "campuslab/capture/engine.h"
+#include "campuslab/util/rng.h"
+
+using namespace campuslab;
+
+namespace {
+
+/// IMIX-ish synthetic frame sizes (mean ~ 400B).
+std::vector<packet::Packet> make_imix(std::size_t count,
+                                      std::uint64_t seed) {
+  using namespace packet;
+  Rng rng(seed);
+  std::vector<Packet> out;
+  out.reserve(count);
+  const Endpoint src{MacAddress::from_id(1), Ipv4Address(8, 8, 8, 8), 53};
+  for (std::size_t i = 0; i < count; ++i) {
+    const Endpoint dst{MacAddress::from_id(2),
+                       Ipv4Address(static_cast<std::uint32_t>(
+                           0x0A001000 + rng.below(512))),
+                       static_cast<std::uint16_t>(1024 + rng.below(60000))};
+    const double roll = rng.uniform();
+    const std::size_t payload =
+        roll < 0.58 ? 26 : (roll < 0.91 ? 532 : 1458);  // IMIX
+    out.push_back(PacketBuilder(Timestamp::from_nanos(
+                                    static_cast<std::int64_t>(i)))
+                      .udp(src, dst)
+                      .payload_size(payload)
+                      .build());
+  }
+  return out;
+}
+
+void BM_RingPushPop(benchmark::State& state) {
+  capture::SpscRing<packet::Packet> ring(1 << 12);
+  auto frames = make_imix(1024, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    packet::Packet p = frames[i++ & 1023];
+    benchmark::DoNotOptimize(ring.try_push(std::move(p)));
+    packet::Packet out;
+    benchmark::DoNotOptimize(ring.try_pop(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingPushPop);
+
+void BM_EngineOfferDrain(benchmark::State& state) {
+  capture::CaptureConfig cfg;
+  cfg.ring_capacity = static_cast<std::size_t>(state.range(0));
+  capture::CaptureEngine engine(cfg);
+  std::uint64_t sink_bytes = 0;
+  engine.add_sink([&](const capture::TaggedPacket& t) {
+    sink_bytes += t.pkt.size();
+  });
+  auto frames = make_imix(4096, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    engine.offer(frames[i++ & 4095], sim::Direction::kInbound);
+    if ((i & 63) == 0) engine.poll(64);
+  }
+  engine.drain();
+  benchmark::DoNotOptimize(sink_bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineOfferDrain)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_TwoThreadCapture(benchmark::State& state) {
+  // Sustained producer/consumer rate across real threads.
+  for (auto _ : state) {
+    state.PauseTiming();
+    capture::CaptureConfig cfg;
+    cfg.ring_capacity = 1 << 14;
+    capture::CaptureEngine engine(cfg);
+    std::uint64_t consumed_bytes = 0;
+    engine.add_sink([&](const capture::TaggedPacket& t) {
+      consumed_bytes += t.pkt.size();
+    });
+    auto frames = make_imix(8192, 3);
+    constexpr std::size_t kCount = 200'000;
+    state.ResumeTiming();
+
+    std::thread consumer([&] {
+      std::uint64_t seen = 0;
+      while (seen < kCount) {
+        const auto n = engine.poll(512);
+        seen += n;
+        if (n == 0) std::this_thread::yield();
+      }
+    });
+    for (std::size_t i = 0; i < kCount;) {
+      if (engine.offer(frames[i & 8191], sim::Direction::kInbound)) ++i;
+    }
+    consumer.join();
+    benchmark::DoNotOptimize(consumed_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          200'000);
+}
+BENCHMARK(BM_TwoThreadCapture)->Unit(benchmark::kMillisecond);
+
+/// Loss-knee table: virtual-time offered load against a consumer whose
+/// per-packet service cost is fixed (ns), sweeping ring capacity.
+void print_loss_table() {
+  std::puts("\n=== T-CAP: loss vs offered load (IMIX, paced consumer) ===");
+  std::puts("consumer service cost: 120 ns/pkt (~8.3 Mpps ceiling)");
+  std::printf("%-14s", "offered");
+  const std::size_t rings[] = {1 << 10, 1 << 14, 1 << 18};
+  for (const auto r : rings) std::printf("ring=%-8zu", r);
+  std::puts("(loss rate)");
+
+  const double gbps_points[] = {1, 5, 10, 20, 40, 100};
+  for (const double gbps : gbps_points) {
+    std::printf("%5.0f Gbps     ", gbps);
+    for (const auto ring_cap : rings) {
+      capture::CaptureConfig cfg;
+      cfg.ring_capacity = ring_cap;
+      capture::CaptureEngine engine(cfg);
+      engine.add_sink([](const capture::TaggedPacket&) {});
+      auto frames = make_imix(4096, 7);
+
+      // Virtual-time pacing: mean frame 454B -> arrivals at `gbps`;
+      // consumer drains in bursts every 50 us of virtual time, capped
+      // by its 120ns/pkt service rate.
+      const double mean_frame_bits = 454 * 8;
+      const double arrival_pps = gbps * 1e9 / mean_frame_bits;
+      const double service_pps = 1e9 / 120.0;
+      const double burst_interval_s = 50e-6;
+      const auto drain_per_burst = static_cast<std::size_t>(
+          service_pps * burst_interval_s);
+
+      double now = 0.0, next_drain = burst_interval_s;
+      Rng rng(static_cast<std::uint64_t>(gbps * 100) + ring_cap);
+      constexpr std::size_t kPackets = 400'000;
+      for (std::size_t i = 0; i < kPackets; ++i) {
+        now += rng.exponential(1.0 / arrival_pps);
+        while (now >= next_drain) {
+          engine.poll(drain_per_burst);
+          next_drain += burst_interval_s;
+        }
+        engine.offer(frames[i & 4095], sim::Direction::kInbound);
+      }
+      engine.drain();
+      std::printf("%-13.5f", engine.stats().loss_rate());
+    }
+    std::puts("");
+  }
+  std::puts("shape: lossless through the service ceiling (~24 Gbps IMIX "
+            "at 120ns/pkt); past it, bigger rings only delay the knee.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_loss_table();
+  return 0;
+}

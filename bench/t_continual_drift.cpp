@@ -1,0 +1,137 @@
+// T-DRIFT — continual learning on the live campus, extending the
+// paper's §6 lineage ("learning-and-deployment platform Puffer ...
+// continual learning improves Internet video streaming") to the
+// security task.
+//
+// Scenario: a heavy amplification campaign trains the initial model;
+// later the attacker adapts — low-rate, small-payload reflection from
+// few reflectors, sitting inside the benign DNS envelope. Two arms run
+// the identical campus:
+//
+//   static     deploy once, never retrain
+//   continual  retrain every 15 s; promote on class-balanced accuracy
+//
+// Reported: per-phase attack delivered fraction for both arms, plus
+// the continual loop's model-version history (the §5 "deployable
+// learning models are versioned artifacts" story made concrete).
+#include <cstdio>
+
+#include "campuslab/testbed/continual.h"
+
+using namespace campuslab;
+using testbed::ContinualConfig;
+using testbed::ContinualLoop;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+namespace {
+
+TestbedConfig drift_scenario(std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.scenario.campus.seed = seed;
+  cfg.scenario.campus.diurnal = false;
+  sim::DnsAmplificationConfig phase1;
+  phase1.start = Timestamp::from_seconds(4);
+  phase1.duration = Duration::seconds(14);
+  phase1.response_rate_pps = 1200;
+  phase1.response_bytes = 2400;
+  cfg.scenario.dns_amplification.push_back(phase1);
+  sim::DnsAmplificationConfig phase2;
+  phase2.start = Timestamp::from_seconds(45);
+  phase2.duration = Duration::seconds(35);
+  phase2.response_rate_pps = 60;
+  phase2.response_bytes = 300;
+  phase2.reflectors = 20;
+  cfg.scenario.dns_amplification.push_back(phase2);
+  cfg.collector.labeling.binary_target =
+      packet::TrafficLabel::kDnsAmplification;
+  cfg.collector.attack_sample_rate = 0.5;
+  cfg.collector.seed = seed + 5;
+  return cfg;
+}
+
+ContinualConfig loop_config(std::uint64_t seed) {
+  ContinualConfig cfg;
+  cfg.development.teacher.n_trees = 15;
+  cfg.development.teacher.seed = seed;
+  cfg.development.extraction.student_max_depth = 5;
+  cfg.development.extraction.synthetic_samples = 3000;
+  cfg.development.extraction.seed = seed + 1;
+  cfg.development.seed = seed + 2;
+  cfg.retrain_interval = Duration::seconds(15);
+  return cfg;
+}
+
+double delivered_fraction(const sim::DeliveryAccounting& before,
+                          const sim::DeliveryAccounting& after) {
+  const auto idx =
+      static_cast<std::size_t>(packet::TrafficLabel::kDnsAmplification);
+  const auto delivered =
+      after.delivered.frames[idx] - before.delivered.frames[idx];
+  const auto filtered =
+      after.filtered.frames[idx] - before.filtered.frames[idx];
+  return static_cast<double>(delivered) /
+         static_cast<double>(delivered + filtered + 1);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 50001;
+
+  std::puts("=== T-DRIFT: static deployment vs continual learning under "
+            "attacker adaptation ===");
+  std::puts("phase 1 (t=4..18):  1200 pps x 2400 B, 400 reflectors "
+            "(training regime)");
+  std::puts("phase 2 (t=45..80):   60 pps x  300 B,  20 reflectors "
+            "(adapted: inside the benign DNS envelope)\n");
+
+  double static_phase2 = 0;
+  {
+    Testbed bed(drift_scenario(kSeed));
+    bed.run(Duration::seconds(20));
+    control::DevelopmentLoop dev(loop_config(kSeed).development);
+    auto package = dev.run(bed.harvest_dataset());
+    if (!package.ok()) return 1;
+    auto loop = control::FastLoop::deploy(package.value());
+    if (!loop.ok()) return 1;
+    loop.value()->install(bed.network());
+    bed.run(Duration::seconds(24));
+    const auto before = bed.network().accounting();
+    bed.run(Duration::seconds(41));
+    static_phase2 = delivered_fraction(before, bed.network().accounting());
+  }
+
+  double continual_phase2 = 0;
+  {
+    Testbed bed(drift_scenario(kSeed));
+    bed.run(Duration::seconds(20));
+    ContinualLoop loop(loop_config(kSeed), bed);
+    if (!loop.start().ok()) return 1;
+    bed.run(Duration::seconds(24));
+    const auto before = bed.network().accounting();
+    bed.run(Duration::seconds(41));
+    continual_phase2 =
+        delivered_fraction(before, bed.network().accounting());
+
+    std::puts("continual loop model-version history:");
+    for (const auto& v : loop.history()) {
+      std::printf("  v%-3d t=%5.0fs  candidate %.4f vs incumbent %.4f "
+                  "(balanced acc) -> %s\n",
+                  v.version, v.trained_at.to_seconds(),
+                  v.candidate_window_accuracy,
+                  v.incumbent_window_accuracy, v.note.c_str());
+    }
+  }
+
+  std::puts("\narm                    drifted-attack delivered fraction");
+  std::printf("static deployment      %.4f\n", static_phase2);
+  std::printf("continual learning     %.4f\n", continual_phase2);
+  std::printf("improvement            %.1fx less attack traffic "
+              "delivered\n",
+              static_phase2 / std::max(continual_phase2, 1e-4));
+  std::puts("\nshape: the statically deployed model decays when the "
+            "attacker adapts; the campus-as-testbed loop retrains from "
+            "its own labelled store and recovers within one window.");
+  return 0;
+}

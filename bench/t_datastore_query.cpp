@@ -1,0 +1,146 @@
+// T-STORE — §5: the data store is "linked and indexed to provide fast
+// and flexible search capabilities".
+//
+// Microbenches: ingest rate, and query latency by host / port / label /
+// time-range / full scan as the store grows 10^4 -> 10^6 flows. The
+// claim to reproduce is the *shape*: indexed queries stay roughly flat
+// (per result) while scans grow linearly.
+#include <benchmark/benchmark.h>
+
+#include "campuslab/store/datastore.h"
+#include "campuslab/util/rng.h"
+
+using namespace campuslab;
+
+namespace {
+
+capture::FlowRecord random_flow(Rng& rng, double t_base) {
+  capture::FlowRecord f;
+  const packet::Ipv4Address src(
+      static_cast<std::uint32_t>(0x0A010000 + rng.below(1024)));
+  const packet::Ipv4Address dst(
+      static_cast<std::uint32_t>(0x97650000 + rng.below(4096)));
+  static constexpr std::uint16_t kPorts[] = {53, 80, 443, 22, 25, 8080};
+  f.tuple = packet::FiveTuple{
+      src, dst, static_cast<std::uint16_t>(1024 + rng.below(60000)),
+      kPorts[rng.below(6)], static_cast<std::uint8_t>(
+          rng.chance(0.7) ? 6 : 17)};
+  f.first_ts = Timestamp::from_seconds(t_base + rng.uniform(0, 3600));
+  f.last_ts = f.first_ts + Duration::from_seconds(rng.uniform(0.001, 60));
+  f.packets = 1 + rng.below(1000);
+  f.bytes = f.packets * (64 + rng.below(1400));
+  const auto label = rng.chance(0.9)
+                         ? packet::TrafficLabel::kBenign
+                         : static_cast<packet::TrafficLabel>(
+                               1 + rng.below(4));
+  f.label_packets[static_cast<std::size_t>(label)] = f.packets;
+  return f;
+}
+
+store::DataStore& store_of_size(std::int64_t n) {
+  // One store per size, built once and reused across benchmarks.
+  static std::map<std::int64_t, std::unique_ptr<store::DataStore>> cache;
+  auto& slot = cache[n];
+  if (!slot) {
+    slot = std::make_unique<store::DataStore>();
+    Rng rng(static_cast<std::uint64_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+      slot->ingest(random_flow(rng, 0));
+  }
+  return *slot;
+}
+
+void BM_Ingest(benchmark::State& state) {
+  store::DataStore store;
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto flow = random_flow(rng, 0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.ingest(flow));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Ingest);
+
+void BM_QueryByHost(benchmark::State& state) {
+  auto& store = store_of_size(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    store::FlowQuery q;
+    q.about_host(packet::Ipv4Address(
+        static_cast<std::uint32_t>(0x0A010000 + rng.below(1024))));
+    benchmark::DoNotOptimize(store.query(q));
+  }
+  state.SetLabel("indexed");
+}
+BENCHMARK(BM_QueryByHost)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_QueryByPort(benchmark::State& state) {
+  auto& store = store_of_size(state.range(0));
+  for (auto _ : state) {
+    store::FlowQuery q;
+    q.on_port(22).top(100);
+    benchmark::DoNotOptimize(store.query(q));
+  }
+  state.SetLabel("indexed, limit 100");
+}
+BENCHMARK(BM_QueryByPort)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_QueryByLabel(benchmark::State& state) {
+  auto& store = store_of_size(state.range(0));
+  for (auto _ : state) {
+    store::FlowQuery q;
+    q.with_label(packet::TrafficLabel::kPortScan).top(100);
+    benchmark::DoNotOptimize(store.query(q));
+  }
+  state.SetLabel("indexed, limit 100");
+}
+BENCHMARK(BM_QueryByLabel)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_QueryTimeRange(benchmark::State& state) {
+  auto& store = store_of_size(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    store::FlowQuery q;
+    const double start = rng.uniform(0, 3000);
+    q.between(Timestamp::from_seconds(start),
+              Timestamp::from_seconds(start + 5)).top(100);
+    benchmark::DoNotOptimize(store.query(q));
+  }
+  state.SetLabel("segment-pruned scan, limit 100");
+}
+BENCHMARK(BM_QueryTimeRange)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_FullScan(benchmark::State& state) {
+  auto& store = store_of_size(state.range(0));
+  for (auto _ : state) {
+    store::FlowQuery q;
+    q.min_bytes = 1'000'000'000;  // matches ~nothing: pure scan cost
+    benchmark::DoNotOptimize(store.query(q));
+  }
+  state.SetLabel("unindexed scan");
+}
+BENCHMARK(BM_FullScan)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_RetentionSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    store::DataStoreConfig cfg;
+    cfg.segment_flows = 10'000;
+    cfg.retention = Duration::seconds(1800);
+    store::DataStore store(cfg);
+    Rng rng(4);
+    for (int i = 0; i < 100'000; ++i)
+      store.ingest(random_flow(rng, 0));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        store.enforce_retention(Timestamp::from_seconds(7200)));
+  }
+  state.SetLabel("drop ~half of 100k flows");
+}
+BENCHMARK(BM_RetentionSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

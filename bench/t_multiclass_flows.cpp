@@ -1,0 +1,88 @@
+// T-MULTI — flow-level multi-class classification across the full
+// attack zoo. The paper's data-source argument (§3) is that a labelled
+// store enables supervised learning "for the task at hand" — not one
+// detector, but any of them. This bench trains one forest to separate
+// benign traffic from all four attack families at once on flow records
+// pulled straight from the store, and prints the confusion matrix an
+// analyst would review.
+#include <cstdio>
+
+#include "campuslab/features/dataset_builder.h"
+#include "campuslab/ml/forest.h"
+#include "campuslab/ml/metrics.h"
+#include "campuslab/testbed/testbed.h"
+
+using namespace campuslab;
+
+int main() {
+  // One busy day: all four attacks at staggered times.
+  testbed::TestbedConfig cfg;
+  cfg.scenario.campus.seed = 60001;
+  cfg.scenario.campus.diurnal = false;
+  sim::DnsAmplificationConfig amp;
+  amp.start = Timestamp::from_seconds(5);
+  amp.duration = Duration::seconds(25);
+  amp.response_rate_pps = 800;
+  cfg.scenario.dns_amplification.push_back(amp);
+  sim::SynFloodConfig flood;
+  flood.start = Timestamp::from_seconds(15);
+  flood.duration = Duration::seconds(25);
+  flood.syn_rate_pps = 900;
+  cfg.scenario.syn_flood.push_back(flood);
+  sim::PortScanConfig scan;
+  scan.start = Timestamp::from_seconds(2);
+  scan.duration = Duration::seconds(40);
+  scan.probe_rate_pps = 250;
+  cfg.scenario.port_scan.push_back(scan);
+  sim::SshBruteForceConfig brute;
+  brute.start = Timestamp::from_seconds(8);
+  brute.duration = Duration::seconds(35);
+  brute.attempts_per_second = 15;
+  cfg.scenario.ssh_brute_force.push_back(brute);
+  cfg.collector.benign_sample_rate = 0.01;  // flow-level task: skip
+  cfg.collector.attack_sample_rate = 0.01;  // the packet collector
+  testbed::Testbed bed(cfg);
+  bed.run(Duration::seconds(50));
+  bed.flush_flows();
+
+  // Flow dataset straight from the data store.
+  const auto dataset = features::build_flow_dataset(bed.store());
+  std::printf("flow dataset: %zu rows x %zu features, 5 classes\n",
+              dataset.n_rows(), dataset.n_features());
+  const auto counts = dataset.class_counts();
+  for (std::size_t c = 0; c < counts.size(); ++c)
+    std::printf("  %-18s %zu flows\n", dataset.class_names()[c].c_str(),
+                counts[c]);
+
+  Rng rng(60002);
+  const auto [train, test] = dataset.stratified_split(0.3, rng);
+  ml::ForestConfig fc;
+  fc.n_trees = 40;
+  fc.seed = 60003;
+  ml::RandomForest forest(fc);
+  forest.fit(train);
+
+  std::puts("\n=== T-MULTI: held-out confusion matrix "
+            "(one model, all attack families) ===");
+  const auto cm = ml::evaluate(forest, test);
+  std::fputs(cm.to_string(test.class_names()).c_str(), stdout);
+
+  std::puts("\ntop flow features by importance:");
+  const auto importance = forest.feature_importance();
+  std::vector<std::pair<double, std::size_t>> ranked;
+  for (std::size_t f = 0; f < importance.size(); ++f)
+    ranked.emplace_back(importance[f], f);
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (std::size_t i = 0; i < 6 && i < ranked.size(); ++i)
+    std::printf("  %-22s %.3f\n",
+                features::flow_feature_names()[ranked[i].second].c_str(),
+                ranked[i].first);
+  std::puts("\nshape: one supervised model separates every attack family "
+            "from benign traffic with high per-class F1 — the labelled "
+            "store makes multi-task learning a query away. The residual "
+            "syn_flood/port_scan confusion is inherent at flow "
+            "granularity: a lone inbound SYN to a web port looks the "
+            "same either way (per-packet register features, which the "
+            "deployable pipeline uses, separate them by fanout).");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// T-ROAD — §5's reproducibility proposal: "open-sourcing the learning
+// algorithms that university researchers will develop using their own
+// campus network's data store ... training them with data from some
+// other campus networks (each with its own data store) suggests a
+// viable path for tackling the much-debated reproducibility problem".
+//
+// Five synthetic campuses (different sizes, loads, address plans, and
+// attack intensities) each run the SAME open-sourced algorithm on
+// their OWN data. Models cross-evaluate on every campus; the attack is
+// kept low-rate so detection is non-trivial and the on-campus vs
+// cross-campus gap is visible. The shape to reproduce: high diagonal,
+// bounded off-diagonal drop — algorithms transfer, data never moves.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campuslab/control/development_loop.h"
+#include "campuslab/ml/metrics.h"
+#include "campuslab/testbed/testbed.h"
+
+using namespace campuslab;
+
+namespace {
+
+struct Campus {
+  const char* name;
+  std::uint64_t seed;
+  int wired, wifi;
+  double load;
+  double attack_pps;
+  std::size_t attack_bytes;
+};
+
+}  // namespace
+
+int main() {
+  const Campus campuses[] = {
+      {"bigstate", 111, 220, 520, 1.4, 400, 900},
+      {"tech    ", 222, 90, 160, 0.7, 250, 700},
+      {"liberal ", 333, 40, 260, 0.5, 600, 1100},
+      {"medical ", 444, 150, 100, 0.9, 300, 800},
+      {"commuter", 555, 60, 380, 0.8, 500, 1000},
+  };
+  constexpr int kN = 5;
+
+  std::vector<ml::Dataset> holdouts;
+  std::vector<std::string> models;  // serialized students
+  std::vector<double> own_acc;
+
+  for (const auto& campus : campuses) {
+    testbed::TestbedConfig cfg;
+    cfg.scenario.campus.seed = campus.seed;
+    cfg.scenario.campus.diurnal = false;
+    cfg.scenario.campus.wired_clients = campus.wired;
+    cfg.scenario.campus.wifi_clients = campus.wifi;
+    cfg.scenario.campus.load_scale = campus.load;
+    sim::DnsAmplificationConfig amp;
+    amp.start = Timestamp::from_seconds(6);
+    amp.duration = Duration::seconds(22);
+    amp.response_rate_pps = campus.attack_pps;
+    amp.response_bytes = campus.attack_bytes;
+    cfg.scenario.dns_amplification.push_back(amp);
+    cfg.collector.labeling.binary_target =
+        packet::TrafficLabel::kDnsAmplification;
+    cfg.collector.seed = campus.seed * 3;
+    testbed::Testbed bed(cfg);
+    bed.run(Duration::seconds(32));
+    const auto raw = bed.harvest_dataset();
+
+    // Each campus quantizes on a COMMON grid (part of the open-sourced
+    // algorithm): fixed physical ranges, not per-campus statistics, so
+    // exchanged models speak the same feature language.
+    std::vector<std::pair<double, double>> ranges(
+        features::kPacketFeatureCount);
+    const auto& names = features::packet_feature_names();
+    for (std::size_t f = 0; f < ranges.size(); ++f) {
+      if (names[f] == "frame_bytes" || names[f] == "payload_bytes")
+        ranges[f] = {0, 4000};
+      else if (names[f] == "src_port" || names[f] == "dst_port")
+        ranges[f] = {0, 65536};
+      else if (names[f] == "dst_inbound_pps")
+        ranges[f] = {0, 50'000};
+      else if (names[f] == "dst_inbound_bps")
+        ranges[f] = {0, 5e8};
+      else if (names[f] == "dst_distinct_srcs" ||
+               names[f] == "src_fanout")
+        ranges[f] = {0, 1500};
+      else
+        ranges[f] = {0, 1};  // booleans
+    }
+    const auto grid = dataplane::Quantizer::from_ranges(std::move(ranges));
+    const auto quantized = grid.quantize_dataset(raw);
+    Rng rng(campus.seed + 9);
+    auto [train, test] = quantized.stratified_split(0.3, rng);
+
+    // The open-sourced algorithm: teacher + extraction, fixed config.
+    ml::ForestConfig fc;
+    fc.n_trees = 30;
+    fc.seed = campus.seed;
+    ml::RandomForest teacher(fc);
+    teacher.fit(train);
+    xai::ExtractConfig xc;
+    xc.student_max_depth = 5;
+    xc.seed = campus.seed + 1;
+    const auto student =
+        xai::ModelExtractor(xc).extract(teacher, train).student;
+
+    own_acc.push_back(ml::evaluate(student, test).accuracy());
+    models.push_back(student.serialize());
+    holdouts.push_back(std::move(test));
+    std::printf("campus %s: %6zu samples, own-holdout accuracy %.4f\n",
+                campus.name, quantized.n_rows(), own_acc.back());
+  }
+
+  std::puts("\n=== T-ROAD: cross-campus accuracy matrix "
+            "(row = trained on, col = evaluated on) ===");
+  std::printf("            ");
+  for (const auto& c : campuses) std::printf("%-10s", c.name);
+  std::puts("");
+  double diag = 0, off = 0;
+  double worst_off = 1.0;
+  for (int i = 0; i < kN; ++i) {
+    const auto model =
+        ml::DecisionTree::deserialize(models[static_cast<std::size_t>(i)]);
+    if (!model.ok()) return 1;
+    std::printf("  %s  ", campuses[i].name);
+    for (int j = 0; j < kN; ++j) {
+      const double acc =
+          ml::evaluate(model.value(),
+                       holdouts[static_cast<std::size_t>(j)])
+              .accuracy();
+      std::printf("%-10.4f", acc);
+      if (i == j) diag += acc;
+      else {
+        off += acc;
+        worst_off = std::min(worst_off, acc);
+      }
+    }
+    std::puts("");
+  }
+  std::printf(
+      "\nmean on-campus  : %.4f\nmean cross-campus: %.4f   "
+      "(worst pair %.4f)\n",
+      diag / kN, off / (kN * (kN - 1)), worst_off);
+  std::puts("shape: the open-sourced algorithm reproduces across "
+            "campuses (bounded off-diagonal drop) with zero data "
+            "sharing — §5's reproducibility path.");
+  return 0;
+}

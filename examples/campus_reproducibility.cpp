@@ -1,0 +1,121 @@
+// Cross-campus reproducibility — the paper's §5 proposal in action:
+// "open-sourcing the learning algorithms ... and training them with
+// data from some other campus networks (each with its own data store)
+// suggests a viable path for tackling the much-debated reproducibility
+// problem".
+//
+// Three synthetic universities with different sizes, app mixes and
+// address plans each run the SAME open-sourced algorithm on their OWN
+// data store. Models are exchanged as serialized artifacts (the data
+// never leaves a campus) and every model is evaluated on every campus,
+// producing the cross-campus accuracy matrix.
+//
+// Run:  ./campus_reproducibility
+#include <cstdio>
+
+#include "campuslab/control/development_loop.h"
+#include "campuslab/ml/metrics.h"
+#include "campuslab/testbed/testbed.h"
+
+using namespace campuslab;
+
+namespace {
+
+struct Campus {
+  const char* name;
+  std::uint64_t seed;
+  int wired, wifi;
+  double load;
+  double attack_pps;
+};
+
+testbed::TestbedConfig make_config(const Campus& c) {
+  testbed::TestbedConfig cfg;
+  cfg.scenario.campus.seed = c.seed;
+  cfg.scenario.campus.diurnal = false;
+  cfg.scenario.campus.wired_clients = c.wired;
+  cfg.scenario.campus.wifi_clients = c.wifi;
+  cfg.scenario.campus.load_scale = c.load;
+  sim::DnsAmplificationConfig amp;
+  amp.start = Timestamp::from_seconds(8);
+  amp.duration = Duration::seconds(25);
+  amp.response_rate_pps = c.attack_pps;
+  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.collector.labeling.binary_target =
+      packet::TrafficLabel::kDnsAmplification;
+  cfg.collector.attack_sample_rate = 0.25;
+  cfg.collector.seed = c.seed * 31;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const Campus campuses[] = {
+      {"State U   ", 11, 200, 500, 1.2, 2500},
+      {"Tech Inst ", 22, 80, 150, 0.6, 1500},
+      {"Liberal C.", 33, 40, 250, 0.4, 3500},
+  };
+  constexpr int kN = 3;
+
+  // Each campus: collect its own data, run the open-sourced algorithm,
+  // export the model as text (the only thing that crosses campuses).
+  std::vector<ml::Dataset> local_data;
+  std::vector<std::string> exported_models;
+  for (const auto& campus : campuses) {
+    std::printf("Campus %s: collecting + training locally...\n",
+                campus.name);
+    testbed::Testbed bed(make_config(campus));
+    bed.run(Duration::seconds(40));
+    local_data.push_back(bed.harvest_dataset());
+
+    control::DevelopmentConfig dev;  // <- the open-sourced algorithm
+    dev.teacher.n_trees = 30;
+    dev.teacher.seed = campus.seed;
+    dev.extraction.seed = campus.seed + 1;
+    const auto package =
+        control::DevelopmentLoop(dev).run(local_data.back());
+    if (!package.ok()) {
+      std::printf("  failed: %s\n", package.error().message.c_str());
+      return 1;
+    }
+    exported_models.push_back(package.value().student.serialize());
+    std::printf("  model exported (%zu bytes serialized, accuracy %.3f "
+                "on own holdout)\n",
+                exported_models.back().size(),
+                package.value().student_holdout_accuracy);
+  }
+
+  // Cross-evaluation: model i on campus j's data. Note each campus
+  // trained on *quantized* features; evaluation quantizes with a grid
+  // fitted to the local data, mirroring each campus's own deployment.
+  std::puts("\nCross-campus accuracy matrix (rows: trained-on, cols: "
+            "evaluated-on):");
+  std::printf("             ");
+  for (const auto& c : campuses) std::printf("%s  ", c.name);
+  std::puts("");
+  double diag_sum = 0.0, off_sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const auto model = ml::DecisionTree::deserialize(exported_models[
+        static_cast<std::size_t>(i)]);
+    if (!model.ok()) return 1;
+    std::printf("  %s ", campuses[i].name);
+    for (int j = 0; j < kN; ++j) {
+      const auto& data = local_data[static_cast<std::size_t>(j)];
+      const auto quantizer = dataplane::Quantizer::fit(data);
+      const auto quantized = quantizer.quantize_dataset(data);
+      const auto cm = ml::evaluate(model.value(), quantized);
+      std::printf("   %.3f    ", cm.accuracy());
+      (i == j ? diag_sum : off_sum) += cm.accuracy();
+    }
+    std::puts("");
+  }
+  std::printf(
+      "\nmean on-campus accuracy:    %.3f\n"
+      "mean cross-campus accuracy: %.3f\n",
+      diag_sum / kN, off_sum / (kN * (kN - 1)));
+  std::puts(
+      "-> the open-sourced *algorithm* reproduces across campuses "
+      "without sharing any campus's data.");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "campuslab/capture/engine.h"
+
+namespace campuslab::capture {
+
+CaptureEngine::CaptureEngine(CaptureConfig config)
+    : ring_(config.ring_capacity) {}
+
+bool CaptureEngine::offer(const packet::Packet& pkt, sim::Direction dir) {
+  packet::Packet copy = pkt;
+  return offer(std::move(copy), dir);
+}
+
+bool CaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
+  ++stats_.offered;
+  stats_.offered_bytes += pkt.size();
+  const auto size = pkt.size();
+  if (!ring_.try_push(TaggedPacket{std::move(pkt), dir})) {
+    ++stats_.dropped;
+    stats_.dropped_bytes += size;
+    return false;
+  }
+  ++stats_.accepted;
+  return true;
+}
+
+std::size_t CaptureEngine::poll(std::size_t max_batch) {
+  std::size_t consumed = 0;
+  TaggedPacket tagged;
+  while (consumed < max_batch && ring_.try_pop(tagged)) {
+    for (const auto& sink : sinks_) sink(tagged);
+    ++consumed;
+  }
+  stats_.consumed += consumed;
+  return consumed;
+}
+
+std::size_t CaptureEngine::drain() {
+  std::size_t total = 0;
+  while (const auto n = poll(1024)) total += n;
+  return total;
+}
+
+}  // namespace campuslab::capture

@@ -1,0 +1,332 @@
+#include "campuslab/capture/filter.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace campuslab::capture {
+
+using packet::Ipv4Address;
+using packet::PacketView;
+
+// ----------------------------------------------------------------- AST
+
+struct FilterExpr::Node {
+  enum class Kind {
+    kAnd,
+    kOr,
+    kNot,
+    kProto,   // value = IpProto number; 0 = any IPv4
+    kPort,    // value = port, dir
+    kHost,    // addr, dir
+    kNet,     // addr, prefix_len, dir
+    kLess,    // value = frame bytes
+    kGreater,
+    kDns,
+    kSyn,
+  };
+  enum class Dir { kEither, kSrc, kDst };
+
+  Kind kind;
+  Dir dir = Dir::kEither;
+  std::uint32_t value = 0;
+  Ipv4Address addr{};
+  int prefix_len = 0;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+namespace {
+
+using Node = FilterExpr::Node;
+using Kind = Node::Kind;
+using Dir = Node::Dir;
+
+bool eval(const Node& node, const PacketView& view) {
+  switch (node.kind) {
+    case Kind::kAnd:
+      return eval(*node.left, view) && eval(*node.right, view);
+    case Kind::kOr:
+      return eval(*node.left, view) || eval(*node.right, view);
+    case Kind::kNot:
+      return !eval(*node.left, view);
+    case Kind::kLess:
+      return view.frame_size() <= node.value;
+    case Kind::kGreater:
+      return view.frame_size() >= node.value;
+    default:
+      break;
+  }
+  // Everything below needs a parsed IPv4 layer.
+  if (!view.valid() || !view.is_ipv4()) return false;
+  const auto tuple = view.five_tuple();
+  switch (node.kind) {
+    case Kind::kProto:
+      return node.value == 0 || view.ipv4().protocol == node.value;
+    case Kind::kPort: {
+      if (!tuple) return false;
+      const bool src = tuple->src_port == node.value;
+      const bool dst = tuple->dst_port == node.value;
+      return node.dir == Dir::kSrc ? src
+             : node.dir == Dir::kDst ? dst
+                                     : (src || dst);
+    }
+    case Kind::kHost: {
+      const bool src = view.ipv4().src == node.addr;
+      const bool dst = view.ipv4().dst == node.addr;
+      return node.dir == Dir::kSrc ? src
+             : node.dir == Dir::kDst ? dst
+                                     : (src || dst);
+    }
+    case Kind::kNet: {
+      const bool src = view.ipv4().src.in_prefix(node.addr,
+                                                 node.prefix_len);
+      const bool dst = view.ipv4().dst.in_prefix(node.addr,
+                                                 node.prefix_len);
+      return node.dir == Dir::kSrc ? src
+             : node.dir == Dir::kDst ? dst
+                                     : (src || dst);
+    }
+    case Kind::kDns:
+      return view.is_dns();
+    case Kind::kSyn:
+      return view.is_tcp() && view.tcp().syn() && !view.tcp().ack_flag();
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------- Parser
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<std::shared_ptr<const Node>> parse() {
+    auto expr = parse_or();
+    if (!expr.ok()) return expr;
+    skip_ws();
+    if (pos_ != text_.size())
+      return fail("unexpected trailing input");
+    return expr;
+  }
+
+ private:
+  Error make_error(const std::string& what) const {
+    return Error::make("filter_syntax",
+                       what + " at position " + std::to_string(pos_) +
+                           " in '" + text_ + "'");
+  }
+  Result<std::shared_ptr<const Node>> fail(const std::string& what) const {
+    return make_error(what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  /// Peek the next word without consuming.
+  std::string peek_word() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '.' || text_[end] == '/'))
+      ++end;
+    return text_.substr(pos_, end - pos_);
+  }
+
+  bool consume_word(const std::string& word) {
+    if (peek_word() != word) return false;
+    skip_ws();
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<std::uint32_t> consume_number() {
+    const auto word = peek_word();
+    if (word.empty()) return std::nullopt;
+    std::uint64_t value = 0;
+    for (const char c : word) {
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        return std::nullopt;
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (value > 0xFFFFFFFFULL) return std::nullopt;
+    }
+    skip_ws();
+    pos_ += word.size();
+    return static_cast<std::uint32_t>(value);
+  }
+
+  Result<std::shared_ptr<const Node>> parse_or() {
+    auto left = parse_and();
+    if (!left.ok()) return left;
+    while (consume_word("or")) {
+      auto right = parse_and();
+      if (!right.ok()) return right;
+      auto node = std::make_shared<Node>();
+      node->kind = Kind::kOr;
+      node->left = left.value();
+      node->right = right.value();
+      left = std::shared_ptr<const Node>(std::move(node));
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<const Node>> parse_and() {
+    auto left = parse_unary();
+    if (!left.ok()) return left;
+    while (consume_word("and")) {
+      auto right = parse_unary();
+      if (!right.ok()) return right;
+      auto node = std::make_shared<Node>();
+      node->kind = Kind::kAnd;
+      node->left = left.value();
+      node->right = right.value();
+      left = std::shared_ptr<const Node>(std::move(node));
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<const Node>> parse_unary() {
+    if (consume_word("not")) {
+      auto inner = parse_unary();
+      if (!inner.ok()) return inner;
+      auto node = std::make_shared<Node>();
+      node->kind = Kind::kNot;
+      node->left = inner.value();
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      auto inner = parse_or();
+      if (!inner.ok()) return inner;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ')')
+        return fail("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    return parse_predicate();
+  }
+
+  Result<std::shared_ptr<const Node>> parse_predicate() {
+    auto node = std::make_shared<Node>();
+
+    // Optional direction qualifier.
+    Dir dir = Dir::kEither;
+    if (consume_word("src")) dir = Dir::kSrc;
+    else if (consume_word("dst")) dir = Dir::kDst;
+    node->dir = dir;
+
+    if (consume_word("port")) {
+      const auto number = consume_number();
+      if (!number) return fail("expected port number");
+      if (*number > 65535) return fail("port out of range");
+      node->kind = Kind::kPort;
+      node->value = *number;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("host")) {
+      const auto word = peek_word();
+      const auto addr = Ipv4Address::parse(word);
+      if (!addr) return fail("expected IPv4 address");
+      skip_ws();
+      pos_ += word.size();
+      node->kind = Kind::kHost;
+      node->addr = *addr;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("net")) {
+      const auto word = peek_word();
+      const auto slash = word.find('/');
+      if (slash == std::string::npos)
+        return fail("expected addr/len network");
+      const auto addr = Ipv4Address::parse(word.substr(0, slash));
+      if (!addr) return fail("expected IPv4 network address");
+      int len = 0;
+      const auto len_text = word.substr(slash + 1);
+      if (len_text.empty() || len_text.size() > 2)
+        return fail("expected prefix length");
+      for (const char c : len_text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+          return fail("expected prefix length");
+        len = len * 10 + (c - '0');
+      }
+      if (len > 32) return fail("prefix length out of range");
+      skip_ws();
+      pos_ += word.size();
+      node->kind = Kind::kNet;
+      node->addr = *addr;
+      node->prefix_len = len;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (dir != Dir::kEither)
+      return fail("expected 'port', 'host' or 'net' after direction");
+
+    if (consume_word("tcp")) {
+      node->kind = Kind::kProto;
+      node->value = 6;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("udp")) {
+      node->kind = Kind::kProto;
+      node->value = 17;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("icmp")) {
+      node->kind = Kind::kProto;
+      node->value = 1;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("ip")) {
+      node->kind = Kind::kProto;
+      node->value = 0;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("dns")) {
+      node->kind = Kind::kDns;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("syn")) {
+      node->kind = Kind::kSyn;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("less")) {
+      const auto number = consume_number();
+      if (!number) return fail("expected byte count");
+      node->kind = Kind::kLess;
+      node->value = *number;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (consume_word("greater")) {
+      const auto number = consume_number();
+      if (!number) return fail("expected byte count");
+      node->kind = Kind::kGreater;
+      node->value = *number;
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    return fail("expected a predicate");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FilterExpr> FilterExpr::parse(const std::string& text) {
+  Parser parser(text);
+  auto root = parser.parse();
+  if (!root.ok()) return root.error();
+  return FilterExpr(std::move(root).value(), text);
+}
+
+bool FilterExpr::matches(const PacketView& view) const {
+  return eval(*root_, view);
+}
+
+}  // namespace campuslab::capture

@@ -1,0 +1,80 @@
+// Classic libpcap file format reader/writer (nanosecond variant).
+//
+// The data store's raw-packet segments are standard .pcap files, so
+// anything captured by CampusLab can be opened in Wireshark/tcpdump and
+// vice versa. Writer and reader implement the format from scratch:
+// 24-byte global header (magic 0xA1B23C4D for nanosecond timestamps,
+// LINKTYPE_ETHERNET) followed by 16-byte-headed records.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campuslab/packet/view.h"
+#include "campuslab/util/result.h"
+
+namespace campuslab::capture {
+
+class PcapWriter {
+ public:
+  static constexpr std::uint32_t kMagicNanos = 0xA1B23C4D;
+  static constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+  /// Open (truncate) `path` and write the global header.
+  static Result<PcapWriter> open(const std::string& path,
+                                 std::uint32_t snaplen = 262144);
+
+  PcapWriter(PcapWriter&&) noexcept;
+  PcapWriter& operator=(PcapWriter&&) noexcept;
+  ~PcapWriter();
+
+  /// Append one record. Frames longer than snaplen are truncated on
+  /// disk with the original length recorded, per the format.
+  Status write(const packet::Packet& pkt);
+
+  Status flush();
+
+  std::uint64_t records_written() const noexcept { return records_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_; }
+
+ private:
+  struct Impl;
+  explicit PcapWriter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+  std::uint32_t snaplen_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+class PcapReader {
+ public:
+  /// Open `path`, validating the global header. Accepts both the
+  /// microsecond (0xA1B2C3D4) and nanosecond magics, either endianness.
+  static Result<PcapReader> open(const std::string& path);
+
+  PcapReader(PcapReader&&) noexcept;
+  PcapReader& operator=(PcapReader&&) noexcept;
+  ~PcapReader();
+
+  /// Read the next record; nullopt at clean EOF; error on corruption.
+  Result<std::optional<packet::Packet>> next();
+
+  /// Drain the remaining records.
+  Result<std::vector<packet::Packet>> read_all();
+
+  std::uint32_t snaplen() const noexcept { return snaplen_; }
+  bool nanosecond_resolution() const noexcept { return nanos_; }
+
+ private:
+  struct Impl;
+  explicit PcapReader(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+  std::uint32_t snaplen_ = 0;
+  bool nanos_ = false;
+  bool swapped_ = false;
+};
+
+}  // namespace campuslab::capture

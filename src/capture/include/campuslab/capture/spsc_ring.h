@@ -1,0 +1,71 @@
+// SpscRing — a bounded, lock-free single-producer/single-consumer ring.
+//
+// This is the decoupling buffer between the capture tap (producer, on
+// the simulated "wire" clock) and the storage/metering consumer. Its
+// capacity is what stands between "lossless full packet capture" and
+// drops under burst — the T-CAP experiment sweeps exactly this.
+//
+// Memory ordering follows the classic Lamport queue: the producer
+// publishes with a release store of head_, the consumer with a release
+// store of tail_; each side reads the other's index with acquire.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace campuslab::capture {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (and leaves `value` untouched) when
+  /// the ring is full.
+  bool try_push(T&& value) {
+    const auto head = head_.load(std::memory_order_relaxed);
+    const auto tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    const auto head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;  // empty
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when called from either endpoint's
+  /// own thread between operations).
+  std::size_t size() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next write index
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next read index
+};
+
+}  // namespace campuslab::capture

@@ -1,0 +1,189 @@
+#include "campuslab/capture/pcap.h"
+
+#include <fstream>
+#include <optional>
+
+namespace campuslab::capture {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicros = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicMicrosSwapped = 0xD4C3B2A1;
+constexpr std::uint32_t kMagicNanosSwapped = 0x4D3CB2A1;
+
+std::uint32_t swap32(std::uint32_t v) noexcept {
+  return ((v & 0x000000FF) << 24) | ((v & 0x0000FF00) << 8) |
+         ((v & 0x00FF0000) >> 8) | ((v & 0xFF000000) >> 24);
+}
+
+void put32(std::ofstream& out, std::uint32_t v) {
+  // pcap headers are written in this host's byte order; the reader
+  // detects foreign order from the magic. We write little-endian
+  // explicitly so files are byte-identical across platforms.
+  const std::uint8_t b[4] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 24)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void put16(std::ofstream& out, std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+  out.write(reinterpret_cast<const char*>(b), 2);
+}
+
+std::optional<std::uint32_t> get32(std::ifstream& in, bool swapped) {
+  std::uint8_t b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (in.gcount() != 4) return std::nullopt;
+  const std::uint32_t v = static_cast<std::uint32_t>(b[0]) |
+                          (static_cast<std::uint32_t>(b[1]) << 8) |
+                          (static_cast<std::uint32_t>(b[2]) << 16) |
+                          (static_cast<std::uint32_t>(b[3]) << 24);
+  return swapped ? swap32(v) : v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Writer
+
+struct PcapWriter::Impl {
+  std::ofstream out;
+};
+
+PcapWriter::PcapWriter(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+PcapWriter::PcapWriter(PcapWriter&&) noexcept = default;
+PcapWriter& PcapWriter::operator=(PcapWriter&&) noexcept = default;
+PcapWriter::~PcapWriter() = default;
+
+Result<PcapWriter> PcapWriter::open(const std::string& path,
+                                    std::uint32_t snaplen) {
+  auto impl = std::make_unique<Impl>();
+  impl->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl->out) {
+    return Error::make("io", "cannot open for writing: " + path);
+  }
+  put32(impl->out, kMagicNanos);
+  put16(impl->out, 2);  // version major
+  put16(impl->out, 4);  // version minor
+  put32(impl->out, 0);  // thiszone
+  put32(impl->out, 0);  // sigfigs
+  put32(impl->out, snaplen);
+  put32(impl->out, kLinkTypeEthernet);
+  PcapWriter w(std::move(impl));
+  w.snaplen_ = snaplen;
+  if (!w.impl_->out) return Error::make("io", "header write failed");
+  return w;
+}
+
+Status PcapWriter::write(const packet::Packet& pkt) {
+  const auto ns_total = pkt.ts.nanos();
+  const auto secs = static_cast<std::uint32_t>(ns_total / 1'000'000'000);
+  const auto nanos = static_cast<std::uint32_t>(ns_total % 1'000'000'000);
+  const auto orig_len = static_cast<std::uint32_t>(pkt.size());
+  const auto incl_len = std::min(orig_len, snaplen_);
+
+  auto& out = impl_->out;
+  put32(out, secs);
+  put32(out, nanos);
+  put32(out, incl_len);
+  put32(out, orig_len);
+  out.write(reinterpret_cast<const char*>(pkt.data.data()), incl_len);
+  if (!out) return Error::make("io", "record write failed");
+  ++records_;
+  bytes_ += incl_len + 16;
+  return Status::success();
+}
+
+Status PcapWriter::flush() {
+  impl_->out.flush();
+  if (!impl_->out) return Error::make("io", "flush failed");
+  return Status::success();
+}
+
+// ---------------------------------------------------------------- Reader
+
+struct PcapReader::Impl {
+  std::ifstream in;
+};
+
+PcapReader::PcapReader(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+PcapReader::PcapReader(PcapReader&&) noexcept = default;
+PcapReader& PcapReader::operator=(PcapReader&&) noexcept = default;
+PcapReader::~PcapReader() = default;
+
+Result<PcapReader> PcapReader::open(const std::string& path) {
+  auto impl = std::make_unique<Impl>();
+  impl->in.open(path, std::ios::binary);
+  if (!impl->in) return Error::make("io", "cannot open: " + path);
+
+  const auto magic = get32(impl->in, false);
+  if (!magic) return Error::make("truncated", "missing pcap header");
+  bool nanos = false, swapped = false;
+  switch (*magic) {
+    case PcapWriter::kMagicNanos: nanos = true; break;
+    case kMagicMicros: break;
+    case kMagicNanosSwapped: nanos = true; swapped = true; break;
+    case kMagicMicrosSwapped: swapped = true; break;
+    default:
+      return Error::make("format", "not a pcap file");
+  }
+  // Skip version (2+2), thiszone (4) and sigfigs (4), then read
+  // snaplen and linktype.
+  impl->in.seekg(12, std::ios::cur);
+  const auto snaplen = get32(impl->in, swapped);
+  const auto linktype = get32(impl->in, swapped);
+  if (!snaplen || !linktype)
+    return Error::make("truncated", "short pcap header");
+  if (*linktype != PcapWriter::kLinkTypeEthernet)
+    return Error::make("format", "unsupported link type");
+
+  PcapReader r(std::move(impl));
+  r.snaplen_ = *snaplen;
+  r.nanos_ = nanos;
+  r.swapped_ = swapped;
+  return r;
+}
+
+Result<std::optional<packet::Packet>> PcapReader::next() {
+  auto& in = impl_->in;
+  const auto secs = get32(in, swapped_);
+  if (!secs) {
+    if (in.eof()) return std::optional<packet::Packet>{};  // clean EOF
+    return Error::make("io", "read failed");
+  }
+  const auto frac = get32(in, swapped_);
+  const auto incl = get32(in, swapped_);
+  const auto orig = get32(in, swapped_);
+  if (!frac || !incl || !orig)
+    return Error::make("truncated", "short record header");
+  if (*incl > snaplen_ + 65536)
+    return Error::make("format", "implausible record length");
+
+  packet::Packet pkt;
+  const std::int64_t frac_ns =
+      nanos_ ? static_cast<std::int64_t>(*frac)
+             : static_cast<std::int64_t>(*frac) * 1000;
+  pkt.ts = Timestamp::from_nanos(
+      static_cast<std::int64_t>(*secs) * 1'000'000'000 + frac_ns);
+  pkt.data.resize(*incl);
+  in.read(reinterpret_cast<char*>(pkt.data.data()),
+          static_cast<std::streamsize>(*incl));
+  if (in.gcount() != static_cast<std::streamsize>(*incl))
+    return Error::make("truncated", "short record body");
+  return std::optional<packet::Packet>(std::move(pkt));
+}
+
+Result<std::vector<packet::Packet>> PcapReader::read_all() {
+  std::vector<packet::Packet> out;
+  while (true) {
+    auto r = next();
+    if (!r.ok()) return r.error();
+    if (!r.value().has_value()) break;
+    out.push_back(std::move(*r.value()));
+  }
+  return out;
+}
+
+}  // namespace campuslab::capture

@@ -1,0 +1,73 @@
+#include "campuslab/control/fast_loop.h"
+
+#include <chrono>
+
+namespace campuslab::control {
+
+Result<std::unique_ptr<FastLoop>> FastLoop::deploy(
+    const DeploymentPackage& package) {
+  auto sw = package.instantiate();
+  if (!sw.ok()) return sw.error();
+  return std::unique_ptr<FastLoop>(
+      new FastLoop(package.task, std::move(sw).value()));
+}
+
+void FastLoop::install(sim::CampusNetwork& network) {
+  network.set_ingress_filter(
+      [this](const packet::Packet& pkt) { return inspect(pkt); });
+}
+
+bool FastLoop::inspect(const packet::Packet& pkt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ++stats_.inspected;
+
+  const auto verdict =
+      switch_->process(pkt, sim::Direction::kInbound);
+  bool matched = verdict.cls == 1 &&
+                 verdict.confidence >= task_.confidence_threshold;
+
+  bool drop = false;
+  switch (task_.action) {
+    case MitigationAction::kMonitorOnly:
+      drop = false;
+      break;
+    case MitigationAction::kDrop:
+      drop = matched;
+      break;
+    case MitigationAction::kRateLimit: {
+      if (matched) {
+        // Token bucket refilled in virtual time.
+        const double elapsed = (pkt.ts - last_refill_).to_seconds();
+        if (elapsed > 0) {
+          tokens_ = std::min(tokens_ + elapsed * task_.rate_limit_pps,
+                             task_.rate_limit_pps);  // 1s burst depth
+          last_refill_ = pkt.ts;
+        }
+        if (tokens_ >= 1.0) {
+          tokens_ -= 1.0;
+        } else {
+          drop = true;
+          ++stats_.rate_limited_dropped;
+        }
+      }
+      break;
+    }
+  }
+
+  // Ground-truth scoring (available because the simulator labels).
+  const bool is_attack_pkt = packet::is_attack(pkt.label);
+  if (drop) {
+    ++stats_.dropped;
+    (is_attack_pkt ? stats_.attack_dropped : stats_.benign_dropped)++;
+  } else {
+    (is_attack_pkt ? stats_.attack_passed : stats_.benign_passed)++;
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  latency_ns_.add(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+          .count()));
+  return drop;
+}
+
+}  // namespace campuslab::control

@@ -1,0 +1,83 @@
+// FastLoop — the fast, online control loop of Figure 2: sense (parse +
+// registers), infer (compiled model), react (drop / rate-limit) on
+// every inbound packet at the campus border.
+//
+// Wraps a deployed SoftwareSwitch as a CampusNetwork ingress filter,
+// measures per-packet wall-clock latency (the FIG2 contrast with the
+// development loop), and keeps ground-truth-scored mitigation counters
+// for road-test reports.
+#pragma once
+
+#include <memory>
+
+#include "campuslab/control/development_loop.h"
+#include "campuslab/sim/campus.h"
+#include "campuslab/util/stats.h"
+
+namespace campuslab::control {
+
+struct MitigationStats {
+  std::uint64_t inspected = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t rate_limited_dropped = 0;
+  // Ground-truth-scored (uses the simulator's labels).
+  std::uint64_t attack_dropped = 0;
+  std::uint64_t benign_dropped = 0;
+  std::uint64_t attack_passed = 0;
+  std::uint64_t benign_passed = 0;
+
+  double drop_precision() const noexcept {
+    const auto total = attack_dropped + benign_dropped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(attack_dropped) /
+                            static_cast<double>(total);
+  }
+  double attack_block_rate() const noexcept {
+    const auto total = attack_dropped + attack_passed;
+    return total == 0 ? 0.0
+                      : static_cast<double>(attack_dropped) /
+                            static_cast<double>(total);
+  }
+  double benign_loss_rate() const noexcept {
+    const auto total = benign_dropped + benign_passed;
+    return total == 0 ? 0.0
+                      : static_cast<double>(benign_dropped) /
+                            static_cast<double>(total);
+  }
+};
+
+class FastLoop {
+ public:
+  /// Builds the switch from the package. Fails if instantiation fails.
+  static Result<std::unique_ptr<FastLoop>> deploy(
+      const DeploymentPackage& package);
+
+  /// Install as the network's ingress filter (enforcing). The loop
+  /// must outlive the network's use of the filter.
+  void install(sim::CampusNetwork& network);
+
+  /// Decide one packet: true = drop. Exposed for canary/testing use.
+  bool inspect(const packet::Packet& pkt);
+
+  const MitigationStats& stats() const noexcept { return stats_; }
+  /// Wall-clock nanoseconds per inspected packet.
+  const RunningStats& latency_ns() const noexcept { return latency_ns_; }
+  const dataplane::SoftwareSwitch& deployed_switch() const noexcept {
+    return *switch_;
+  }
+
+ private:
+  FastLoop(const AutomationTask& task,
+           std::unique_ptr<dataplane::SoftwareSwitch> sw)
+      : task_(task), switch_(std::move(sw)) {}
+
+  AutomationTask task_;
+  std::unique_ptr<dataplane::SoftwareSwitch> switch_;
+  MitigationStats stats_;
+  RunningStats latency_ns_;
+  // Token bucket for kRateLimit.
+  double tokens_ = 0.0;
+  Timestamp last_refill_{};
+};
+
+}  // namespace campuslab::control

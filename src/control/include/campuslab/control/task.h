@@ -1,0 +1,38 @@
+// AutomationTask — the paper's §2 unit of network automation: "perform
+// a particular action upon detecting a certain network event", e.g.
+// "drop attack traffic on ingress if confidence in detection is at
+// least 90%".
+#pragma once
+
+#include <string>
+
+#include "campuslab/packet/label.h"
+
+namespace campuslab::control {
+
+enum class MitigationAction : std::uint8_t {
+  kMonitorOnly,  // classify and count, never touch traffic (canary)
+  kDrop,         // drop matching packets at ingress
+  kRateLimit,    // cap matching traffic to a token-bucket rate
+};
+
+struct AutomationTask {
+  std::string name;
+  packet::TrafficLabel event = packet::TrafficLabel::kDnsAmplification;
+  double confidence_threshold = 0.90;
+  MitigationAction action = MitigationAction::kDrop;
+  /// Packets/second allowed through when action == kRateLimit.
+  double rate_limit_pps = 100.0;
+
+  /// The paper's running example, verbatim.
+  static AutomationTask dns_amplification_drop() {
+    AutomationTask t;
+    t.name = "dns-amplification-ingress-drop";
+    t.event = packet::TrafficLabel::kDnsAmplification;
+    t.confidence_threshold = 0.90;
+    t.action = MitigationAction::kDrop;
+    return t;
+  }
+};
+
+}  // namespace campuslab::control

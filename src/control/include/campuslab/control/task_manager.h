@@ -1,0 +1,80 @@
+// TaskManager — concurrent automation tasks on one border pipeline.
+//
+// §2 observes that modern data planes are "currently not capable of
+// supporting this capability at scale; i.e., executing hundreds or
+// thousands of such tasks concurrently and in real time". TaskManager
+// makes that limit measurable: each deployed task is a compiled
+// classifier + action; the manager chains them over one shared feature
+// stage, refuses deployments whose combined footprint exceeds the
+// switch budget, and reports the aggregate resource bill (the T-SCALE
+// experiment sweeps it).
+//
+// Resource composition model (RMT): independent tasks place their
+// tables in the SAME stages side by side, so pipeline depth is the max
+// over tasks and the feature/register stage is shared; what adds up —
+// and eventually says "no more tasks" — is per-stage memory (SRAM bits
+// and TCAM entries, summed against the chip-wide pools).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "campuslab/control/fast_loop.h"
+
+namespace campuslab::control {
+
+class TaskManager {
+ public:
+  explicit TaskManager(dataplane::ResourceBudget budget)
+      : budget_(budget) {}
+
+  /// Deploy a package as a new concurrent task. Fails with "budget"
+  /// when the combined pipeline would no longer fit. Returns the task
+  /// slot id.
+  Result<std::size_t> deploy(const DeploymentPackage& package);
+
+  /// Disarm a task (its slot stays; stats are preserved).
+  Status undeploy(std::size_t slot);
+
+  /// Run one packet through every armed task; the packet is dropped if
+  /// ANY task's action says drop. Per-task stats update independently.
+  bool inspect(const packet::Packet& pkt);
+
+  /// Install as a network's ingress filter. Must outlive the network's
+  /// use of the filter.
+  void install(sim::CampusNetwork& network);
+
+  std::size_t active_tasks() const noexcept;
+  std::size_t total_slots() const noexcept { return slots_.size(); }
+
+  const MitigationStats& task_stats(std::size_t slot) const {
+    return slots_[slot].loop->stats();
+  }
+  const AutomationTask& task(std::size_t slot) const {
+    return slots_[slot].task;
+  }
+
+  /// The combined footprint of everything currently armed.
+  dataplane::ResourceReport combined_resources() const;
+
+  const dataplane::ResourceBudget& budget() const noexcept {
+    return budget_;
+  }
+
+ private:
+  struct Slot {
+    AutomationTask task;
+    std::unique_ptr<FastLoop> loop;
+    dataplane::ResourceReport resources;
+    bool armed = false;
+  };
+
+  dataplane::ResourceReport combined_with(
+      const dataplane::ResourceReport& extra) const;
+
+  dataplane::ResourceBudget budget_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace campuslab::control

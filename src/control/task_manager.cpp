@@ -1,0 +1,81 @@
+#include "campuslab/control/task_manager.h"
+
+#include <algorithm>
+
+namespace campuslab::control {
+
+dataplane::ResourceReport TaskManager::combined_with(
+    const dataplane::ResourceReport& extra) const {
+  // RMT composition: independent tasks occupy the SAME stages in
+  // parallel (an RMT stage holds many tables), so stage depth is the
+  // MAX over tasks, not the sum; the feature/register stage is shared
+  // outright. What adds up — and what ultimately caps concurrent-task
+  // count, per the T-SCALE experiment — is per-stage memory: SRAM bits
+  // and TCAM entries are summed against the chip-wide pools.
+  dataplane::ResourceReport total;
+  auto add = [&](const dataplane::ResourceReport& r) {
+    if (r.stages_used == 0 && r.sram_bits == 0 && r.tcam_entries == 0)
+      return;  // empty report (no-op)
+    total.stages_used = std::max(total.stages_used, r.stages_used);
+    total.tcam_entries += r.tcam_entries;
+    total.sram_bits += r.sram_bits;
+    total.register_arrays_used =
+        std::max(total.register_arrays_used, r.register_arrays_used);
+  };
+  for (const auto& slot : slots_)
+    if (slot.armed) add(slot.resources);
+  add(extra);
+  return total;
+}
+
+Result<std::size_t> TaskManager::deploy(const DeploymentPackage& package) {
+  const auto combined = combined_with(package.resources);
+  if (!combined.fits(budget_)) {
+    return Error::make("budget", "combined pipeline exceeds budget: " +
+                                     combined.to_string());
+  }
+  auto loop = FastLoop::deploy(package);
+  if (!loop.ok()) return loop.error();
+  Slot slot;
+  slot.task = package.task;
+  slot.loop = std::move(loop).value();
+  slot.resources = package.resources;
+  slot.armed = true;
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+Status TaskManager::undeploy(std::size_t slot) {
+  if (slot >= slots_.size())
+    return Error::make("not_found", "no such task slot");
+  slots_[slot].armed = false;
+  return Status::success();
+}
+
+bool TaskManager::inspect(const packet::Packet& pkt) {
+  bool drop = false;
+  for (auto& slot : slots_) {
+    if (!slot.armed) continue;
+    // Every armed task sees every packet (they share the mirror), so
+    // per-task stats stay meaningful even when an earlier task drops.
+    drop = slot.loop->inspect(pkt) || drop;
+  }
+  return drop;
+}
+
+void TaskManager::install(sim::CampusNetwork& network) {
+  network.set_ingress_filter(
+      [this](const packet::Packet& pkt) { return inspect(pkt); });
+}
+
+std::size_t TaskManager::active_tasks() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const Slot& s) { return s.armed; }));
+}
+
+dataplane::ResourceReport TaskManager::combined_resources() const {
+  return combined_with(dataplane::ResourceReport{});
+}
+
+}  // namespace campuslab::control

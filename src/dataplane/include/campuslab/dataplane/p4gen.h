@@ -1,0 +1,28 @@
+// P4 source generation — renders a compiled program as a P4-16 style
+// source file, the "target-specific program" artifact of Figure 2
+// step (iii). The output is a faithful, readable description of the
+// pipeline (metadata fields, per-stage tables, const entries, the
+// confidence-threshold drop action); it targets a v1model-like
+// architecture and is intended for review and documentation alongside
+// the executable SoftwareSwitch, not for a vendor toolchain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campuslab/dataplane/programs.h"
+#include "campuslab/dataplane/switch.h"
+
+namespace campuslab::dataplane {
+
+/// Generate P4 for a tree-walk program.
+std::string generate_p4(const TreeProgram& program,
+                        const std::vector<std::string>& feature_names,
+                        const FilterPolicy& policy);
+
+/// Generate P4 for a TCAM rule program.
+std::string generate_p4(const RuleTcamProgram& program,
+                        const std::vector<std::string>& feature_names,
+                        const FilterPolicy& policy);
+
+}  // namespace campuslab::dataplane

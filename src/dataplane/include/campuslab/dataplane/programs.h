@@ -1,0 +1,109 @@
+// Compiled classifier programs — Figure 2 step (iii): "compile the
+// deployable learning model into a target-specific program".
+//
+// Two compilation strategies, both consuming the same extracted tree:
+//
+//   TreeProgram     level-per-stage node walk. Stage k resolves the
+//                   tree's depth-k node via an exact-match table on the
+//                   node id carried in metadata; entries hold
+//                   (feature, threshold, children). Cost: one pipeline
+//                   stage per tree level, SRAM-only.
+//
+//   RuleTcamProgram every leaf rule becomes ternary entries in one
+//                   logical TCAM: per-field ranges are expanded to
+//                   prefixes and the cross product installed. Cost:
+//                   single-lookup latency, but the entry count can
+//                   blow up combinatorially — exactly the trade-off
+//                   the T-P4 ablation measures.
+//
+// Both operate on quantized 16-bit metadata produced by Quantizer and
+// yield byte-exact identical verdicts to the source tree on quantized
+// inputs (tested by property test).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campuslab/dataplane/quantize.h"
+#include "campuslab/dataplane/resources.h"
+#include "campuslab/dataplane/tables.h"
+#include "campuslab/ml/tree.h"
+#include "campuslab/xai/rules.h"
+
+namespace campuslab::dataplane {
+
+struct Verdict {
+  int cls = 0;
+  double confidence = 0.0;  // 8-bit fixed point on the wire
+};
+
+class CompiledClassifier {
+ public:
+  virtual ~CompiledClassifier() = default;
+  virtual Verdict classify(std::span<const std::uint32_t> qx) const = 0;
+  virtual ResourceReport resources() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Pack/unpack a verdict into 32-bit action data (class | confidence).
+std::uint32_t pack_verdict(const Verdict& v) noexcept;
+Verdict unpack_verdict(std::uint32_t action_data) noexcept;
+
+class TreeProgram final : public CompiledClassifier {
+ public:
+  /// `register_feature_mask[f]` marks features needing a stateful
+  /// register array (counted in the resource report). May be empty.
+  static Result<TreeProgram> compile(
+      const ml::DecisionTree& tree, const Quantizer& quantizer,
+      std::vector<bool> register_feature_mask = {});
+
+  Verdict classify(std::span<const std::uint32_t> qx) const override;
+  ResourceReport resources() const override;
+  std::string name() const override { return "tree_walk"; }
+
+  int levels() const noexcept { return static_cast<int>(levels_.size()); }
+  std::size_t total_entries() const noexcept;
+
+  /// For the P4 generator.
+  struct NodeEntry {
+    std::uint16_t node_id = 0;
+    bool is_leaf = false;
+    std::uint16_t feature = 0;
+    std::uint32_t threshold = 0;
+    std::uint16_t left_id = 0;
+    std::uint16_t right_id = 0;
+    std::uint32_t verdict = 0;  // packed, for leaves
+  };
+  const std::vector<std::vector<NodeEntry>>& level_tables() const noexcept {
+    return levels_;
+  }
+
+ private:
+  std::vector<std::vector<NodeEntry>> levels_;
+  int register_arrays_ = 0;
+};
+
+class RuleTcamProgram final : public CompiledClassifier {
+ public:
+  /// Fails with code "budget" if expansion exceeds `max_entries`.
+  static Result<RuleTcamProgram> compile(
+      const xai::RuleList& rules, const Quantizer& quantizer,
+      std::size_t max_entries = 1 << 20,
+      std::vector<bool> register_feature_mask = {});
+
+  Verdict classify(std::span<const std::uint32_t> qx) const override;
+  ResourceReport resources() const override;
+  std::string name() const override { return "rule_tcam"; }
+
+  const TernaryTable& table() const noexcept { return table_; }
+  std::size_t source_rules() const noexcept { return source_rules_; }
+
+ private:
+  explicit RuleTcamProgram(std::size_t n_fields) : table_(n_fields) {}
+  TernaryTable table_;
+  std::size_t source_rules_ = 0;
+  int register_arrays_ = 0;
+};
+
+}  // namespace campuslab::dataplane

@@ -1,0 +1,49 @@
+// Resource model of the target switch — the budget a deployable model
+// must fit (Figure 2 step (iii): compile for "programmable switches
+// (e.g., Barefoot Tofino)").
+//
+// The numbers are representative of a Tofino-1-class RMT pipeline:
+// a dozen match-action stages, a few thousand TCAM entries and about a
+// megabyte of SRAM per stage, and a handful of stateful register
+// arrays. CampusLab treats them as a budget to report against, not a
+// timing model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace campuslab::dataplane {
+
+struct ResourceBudget {
+  int stages = 12;
+  std::size_t tcam_entries_per_stage = 2048;
+  std::size_t sram_bits_per_stage = 8ull * 1024 * 1024;  // 1 MiB
+  int register_arrays = 8;
+
+  static ResourceBudget tofino_like() { return ResourceBudget{}; }
+};
+
+struct ResourceReport {
+  int stages_used = 0;
+  std::size_t tcam_entries = 0;
+  std::size_t sram_bits = 0;
+  int register_arrays_used = 0;
+
+  bool fits(const ResourceBudget& budget) const noexcept {
+    return stages_used <= budget.stages &&
+           tcam_entries <= budget.tcam_entries_per_stage *
+                               static_cast<std::size_t>(budget.stages) &&
+           sram_bits <= budget.sram_bits_per_stage *
+                            static_cast<std::size_t>(budget.stages) &&
+           register_arrays_used <= budget.register_arrays;
+  }
+
+  std::string to_string() const {
+    return "stages=" + std::to_string(stages_used) +
+           " tcam_entries=" + std::to_string(tcam_entries) +
+           " sram_bits=" + std::to_string(sram_bits) +
+           " register_arrays=" + std::to_string(register_arrays_used);
+  }
+};
+
+}  // namespace campuslab::dataplane

@@ -1,0 +1,94 @@
+// Match-action table primitives: exact, ternary (TCAM) and range
+// matching over 16-bit metadata fields, plus range-to-prefix expansion
+// (the classic trick for encoding ranges in TCAMs, and the source of
+// the entry blowup the T-P4 ablation measures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace campuslab::dataplane {
+
+/// One ternary match over a set of fields: (value, mask) per field.
+/// A field with mask 0 is wildcarded.
+struct TernaryEntry {
+  std::vector<std::uint32_t> value;
+  std::vector<std::uint32_t> mask;
+  std::int32_t priority = 0;  // higher wins
+  std::uint32_t action_data = 0;
+
+  bool matches(std::span<const std::uint32_t> key) const noexcept {
+    for (std::size_t f = 0; f < value.size(); ++f)
+      if ((key[f] & mask[f]) != (value[f] & mask[f])) return false;
+    return true;
+  }
+};
+
+/// Linear-scan TCAM model: highest-priority matching entry wins
+/// (ties broken by insertion order, as real TCAMs do by address).
+class TernaryTable {
+ public:
+  explicit TernaryTable(std::size_t n_fields) : n_fields_(n_fields) {}
+
+  void add(TernaryEntry entry);
+
+  /// Action data of the winning entry; nullopt on miss.
+  std::optional<std::uint32_t> lookup(
+      std::span<const std::uint32_t> key) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t n_fields() const noexcept { return n_fields_; }
+  const std::vector<TernaryEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::size_t n_fields_;
+  std::vector<TernaryEntry> entries_;  // kept sorted by priority desc
+};
+
+/// Exact-match table over one 32-bit key (hash table in SRAM).
+class ExactTable {
+ public:
+  void add(std::uint32_t key, std::uint32_t action_data);
+  std::optional<std::uint32_t> lookup(std::uint32_t key) const;
+  std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  // Sorted lazily on first lookup after a batch of inserts.
+  mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> map_;
+  mutable bool sorted_ = true;
+};
+
+/// A [lo, hi] range over one field (inclusive).
+struct RangeEntry {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  std::uint32_t action_data = 0;
+};
+
+/// Range table over one field; first matching entry wins.
+class RangeTable {
+ public:
+  void add(RangeEntry entry) { entries_.push_back(entry); }
+  std::optional<std::uint32_t> lookup(std::uint32_t key) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<RangeEntry> entries_;
+};
+
+/// A (value, mask) prefix pair on a W-bit field.
+struct Prefix {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;
+};
+
+/// Minimal prefix cover of the inclusive range [lo, hi] on a
+/// `width`-bit field. At most 2*width - 2 prefixes (classic bound).
+std::vector<Prefix> range_to_prefixes(std::uint32_t lo, std::uint32_t hi,
+                                      int width);
+
+}  // namespace campuslab::dataplane

@@ -1,0 +1,245 @@
+#include "campuslab/dataplane/programs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace campuslab::dataplane {
+
+std::uint32_t pack_verdict(const Verdict& v) noexcept {
+  const auto conf = static_cast<std::uint32_t>(
+      std::clamp(v.confidence, 0.0, 1.0) * 255.0 + 0.5);
+  return (static_cast<std::uint32_t>(v.cls) << 8) | conf;
+}
+
+Verdict unpack_verdict(std::uint32_t action_data) noexcept {
+  Verdict v;
+  v.cls = static_cast<int>(action_data >> 8);
+  v.confidence = static_cast<double>(action_data & 0xFF) / 255.0;
+  return v;
+}
+
+namespace {
+
+Verdict leaf_verdict(const ml::TreeNode& node) {
+  const auto best = static_cast<std::size_t>(
+      std::max_element(node.class_probs.begin(), node.class_probs.end()) -
+      node.class_probs.begin());
+  return Verdict{static_cast<int>(best), node.class_probs[best]};
+}
+
+int count_registers(const std::vector<bool>& mask,
+                    const std::vector<bool>& used) {
+  int count = 0;
+  for (std::size_t f = 0; f < used.size(); ++f)
+    if (used[f] && f < mask.size() && mask[f]) ++count;
+  return count;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ TreeProgram
+
+Result<TreeProgram> TreeProgram::compile(
+    const ml::DecisionTree& tree, const Quantizer& quantizer,
+    std::vector<bool> register_feature_mask) {
+  if (tree.nodes().empty())
+    return Error::make("empty", "tree has no nodes");
+  if (tree.feature_names().size() > quantizer.n_features() &&
+      quantizer.n_features() > 0) {
+    return Error::make("shape", "quantizer does not cover tree features");
+  }
+
+  TreeProgram program;
+  std::vector<bool> used(tree.feature_names().size(), false);
+
+  // BFS assigning per-level ids. Node ids are per-level indexes carried
+  // in metadata between stages (16 bits is ample: 2^depth leaves).
+  const auto& nodes = tree.nodes();
+  struct Pending {
+    int node;
+    int level;
+    std::uint16_t id;
+  };
+  std::queue<Pending> queue;
+  queue.push({0, 0, 0});
+  std::vector<std::uint16_t> next_id_at_level;
+  next_id_at_level.push_back(1);
+
+  // Ids must be assigned to children before parents are emitted; do a
+  // two-pass BFS: first assign, then emit.
+  // Single pass works if we assign children ids as we pop parents.
+  while (!queue.empty()) {
+    const auto [node_idx, level, id] = queue.front();
+    queue.pop();
+    const auto& node = nodes[static_cast<std::size_t>(node_idx)];
+    if (static_cast<std::size_t>(level) >= program.levels_.size())
+      program.levels_.emplace_back();
+
+    NodeEntry entry;
+    entry.node_id = id;
+    if (node.is_leaf()) {
+      entry.is_leaf = true;
+      entry.verdict = pack_verdict(leaf_verdict(node));
+    } else {
+      const auto f = static_cast<std::size_t>(node.feature);
+      if (f < used.size()) used[f] = true;
+      entry.feature = static_cast<std::uint16_t>(node.feature);
+      entry.threshold = quantizer.quantize_threshold(f, node.threshold);
+      if (static_cast<std::size_t>(level + 1) >= next_id_at_level.size())
+        next_id_at_level.push_back(0);
+      entry.left_id = next_id_at_level[static_cast<std::size_t>(level + 1)]++;
+      entry.right_id =
+          next_id_at_level[static_cast<std::size_t>(level + 1)]++;
+      queue.push({node.left, level + 1, entry.left_id});
+      queue.push({node.right, level + 1, entry.right_id});
+    }
+    program.levels_[static_cast<std::size_t>(level)].push_back(entry);
+  }
+  program.register_arrays_ = count_registers(register_feature_mask, used);
+  return program;
+}
+
+Verdict TreeProgram::classify(std::span<const std::uint32_t> qx) const {
+  std::uint16_t node_id = 0;
+  for (const auto& level : levels_) {
+    // Exact-match on node_id; levels are emitted in id order, so the
+    // id is the index.
+    assert(node_id < level.size());
+    const auto& entry = level[node_id];
+    if (entry.is_leaf) return unpack_verdict(entry.verdict);
+    node_id = qx[entry.feature] <= entry.threshold ? entry.left_id
+                                                   : entry.right_id;
+  }
+  // A well-formed program always ends at a leaf.
+  assert(false && "tree program fell off the last stage");
+  return Verdict{};
+}
+
+std::size_t TreeProgram::total_entries() const noexcept {
+  std::size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+ResourceReport TreeProgram::resources() const {
+  ResourceReport report;
+  // One stage for feature/register computation plus one per tree level.
+  report.stages_used = 1 + static_cast<int>(levels_.size());
+  // Entry layout: node_id(16) + flags(8) + feature(8) + threshold(16)
+  //             + left(16) + right(16) + verdict(16) = 96 bits.
+  report.sram_bits = total_entries() * 96;
+  report.tcam_entries = 0;
+  report.register_arrays_used = register_arrays_;
+  return report;
+}
+
+// -------------------------------------------------------- RuleTcamProgram
+
+Result<RuleTcamProgram> RuleTcamProgram::compile(
+    const xai::RuleList& rules, const Quantizer& quantizer,
+    std::size_t max_entries, std::vector<bool> register_feature_mask) {
+  const std::size_t n_fields = quantizer.n_features();
+  if (n_fields == 0) return Error::make("shape", "quantizer is empty");
+
+  RuleTcamProgram program(n_fields);
+  program.source_rules_ = rules.rules().size();
+  std::vector<bool> used(n_fields, false);
+
+  std::int32_t priority = static_cast<std::int32_t>(rules.rules().size());
+  for (const auto& rule : rules.rules()) {
+    // Fold conditions into per-field inclusive ranges.
+    std::vector<std::uint32_t> lo(n_fields, 0);
+    std::vector<std::uint32_t> hi(n_fields, Quantizer::kMaxQ);
+    bool satisfiable = true;
+    for (const auto& cond : rule.conditions) {
+      const auto f = static_cast<std::size_t>(cond.feature);
+      used[f] = true;
+      const std::uint32_t qthr =
+          quantizer.quantize_threshold(f, cond.threshold);
+      if (cond.op == xai::RuleCondition::Op::kLe) {
+        hi[f] = std::min(hi[f], qthr);
+      } else {
+        if (qthr == Quantizer::kMaxQ) {
+          satisfiable = false;
+          break;
+        }
+        lo[f] = std::max(lo[f], qthr + 1);
+      }
+      if (lo[f] > hi[f]) {
+        satisfiable = false;
+        break;
+      }
+    }
+    --priority;
+    if (!satisfiable) continue;
+
+    // Expand each constrained field to prefixes; cartesian product.
+    const std::uint32_t action = pack_verdict(
+        Verdict{rule.predicted_class, rule.confidence});
+    std::vector<std::vector<Prefix>> per_field(n_fields);
+    for (std::size_t f = 0; f < n_fields; ++f) {
+      if (lo[f] == 0 && hi[f] == Quantizer::kMaxQ) {
+        per_field[f] = {Prefix{0, 0}};  // wildcard
+      } else {
+        per_field[f] = range_to_prefixes(lo[f], hi[f], 16);
+      }
+    }
+    // Product size check before materializing.
+    std::size_t product = 1;
+    for (const auto& prefixes : per_field) {
+      product *= prefixes.size();
+      if (program.table_.size() + product > max_entries) {
+        return Error::make(
+            "budget", "TCAM expansion exceeds " +
+                          std::to_string(max_entries) + " entries");
+      }
+    }
+    // Materialize the cross product (odometer enumeration).
+    std::vector<std::size_t> odo(n_fields, 0);
+    while (true) {
+      TernaryEntry entry;
+      entry.value.resize(n_fields);
+      entry.mask.resize(n_fields);
+      for (std::size_t f = 0; f < n_fields; ++f) {
+        entry.value[f] = per_field[f][odo[f]].value;
+        entry.mask[f] = per_field[f][odo[f]].mask;
+      }
+      entry.priority = priority;
+      entry.action_data = action;
+      program.table_.add(std::move(entry));
+
+      std::size_t carry = 0;
+      while (carry < n_fields) {
+        if (++odo[carry] < per_field[carry].size()) break;
+        odo[carry] = 0;
+        ++carry;
+      }
+      if (carry == n_fields) break;
+    }
+  }
+  program.register_arrays_ = count_registers(register_feature_mask, used);
+  return program;
+}
+
+Verdict RuleTcamProgram::classify(
+    std::span<const std::uint32_t> qx) const {
+  const auto action = table_.lookup(qx);
+  if (!action) return Verdict{0, 0.0};  // default: benign, no confidence
+  return unpack_verdict(*action);
+}
+
+ResourceReport RuleTcamProgram::resources() const {
+  ResourceReport report;
+  report.tcam_entries = table_.size();
+  // Feature stage + however many stages this TCAM block spans at
+  // 2048 entries per stage.
+  report.stages_used =
+      1 + static_cast<int>((table_.size() + 2047) / 2048);
+  // Each entry: (value+mask) * fields * 16 bits + action 32.
+  report.sram_bits = 0;
+  report.register_arrays_used = register_arrays_;
+  return report;
+}
+
+}  // namespace campuslab::dataplane

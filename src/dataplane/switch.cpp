@@ -1,0 +1,35 @@
+#include "campuslab/dataplane/switch.h"
+
+namespace campuslab::dataplane {
+
+SoftwareSwitch::SoftwareSwitch(
+    std::unique_ptr<CompiledClassifier> program, Quantizer quantizer,
+    features::PacketFeatureConfig feature_config)
+    : program_(std::move(program)), quantizer_(std::move(quantizer)),
+      extractor_(feature_config) {}
+
+Verdict SoftwareSwitch::process(const packet::Packet& pkt,
+                                sim::Direction dir) {
+  ++stats_.processed;
+  const auto x = extractor_.extract(pkt, dir);
+  if (x.empty()) {
+    ++stats_.non_ip_passed;
+    return Verdict{0, 0.0};
+  }
+  const auto qx = quantizer_.quantize_row(x);
+  const auto verdict = program_->classify(qx);
+  if (static_cast<std::size_t>(verdict.cls) < stats_.verdicts.size())
+    ++stats_.verdicts[static_cast<std::size_t>(verdict.cls)];
+  return verdict;
+}
+
+bool SoftwareSwitch::filter(const packet::Packet& pkt, sim::Direction dir,
+                            const FilterPolicy& policy) {
+  const auto verdict = process(pkt, dir);
+  const bool drop = verdict.cls == policy.drop_class &&
+                    verdict.confidence >= policy.min_confidence;
+  if (drop) ++stats_.dropped;
+  return drop;
+}
+
+}  // namespace campuslab::dataplane

@@ -1,0 +1,80 @@
+#include "campuslab/dataplane/tables.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace campuslab::dataplane {
+
+void TernaryTable::add(TernaryEntry entry) {
+  assert(entry.value.size() == n_fields_ &&
+         entry.mask.size() == n_fields_);
+  // Stable insert keeping priority-descending order.
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const TernaryEntry& a, const TernaryEntry& b) {
+        return a.priority > b.priority;
+      });
+  entries_.insert(pos, std::move(entry));
+}
+
+std::optional<std::uint32_t> TernaryTable::lookup(
+    std::span<const std::uint32_t> key) const {
+  for (const auto& entry : entries_)
+    if (entry.matches(key)) return entry.action_data;
+  return std::nullopt;
+}
+
+void ExactTable::add(std::uint32_t key, std::uint32_t action_data) {
+  map_.emplace_back(key, action_data);
+  sorted_ = false;
+}
+
+std::optional<std::uint32_t> ExactTable::lookup(std::uint32_t key) const {
+  if (!sorted_) {
+    std::sort(map_.begin(), map_.end());
+    sorted_ = true;
+  }
+  const auto it = std::lower_bound(
+      map_.begin(), map_.end(), std::make_pair(key, std::uint32_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == map_.end() || it->first != key) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint32_t> RangeTable::lookup(std::uint32_t key) const {
+  for (const auto& entry : entries_)
+    if (key >= entry.lo && key <= entry.hi) return entry.action_data;
+  return std::nullopt;
+}
+
+std::vector<Prefix> range_to_prefixes(std::uint32_t lo, std::uint32_t hi,
+                                      int width) {
+  assert(width > 0 && width <= 32);
+  assert(lo <= hi);
+  const std::uint32_t field_mask =
+      width == 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
+  assert(hi <= field_mask);
+
+  std::vector<Prefix> out;
+  std::uint64_t cursor = lo;
+  const std::uint64_t end = static_cast<std::uint64_t>(hi) + 1;
+  while (cursor < end) {
+    // Largest aligned block starting at cursor that fits in the range.
+    std::uint32_t block = 1;
+    while (true) {
+      const std::uint32_t next = block << 1;
+      if (next == 0) break;                        // 2^32 overflow guard
+      if (cursor & (static_cast<std::uint64_t>(next) - 1)) break;
+      if (cursor + next > end) break;
+      block = next;
+    }
+    Prefix p;
+    p.value = static_cast<std::uint32_t>(cursor);
+    p.mask = field_mask & ~(block - 1);
+    out.push_back(p);
+    cursor += block;
+  }
+  return out;
+}
+
+}  // namespace campuslab::dataplane

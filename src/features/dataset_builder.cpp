@@ -1,0 +1,46 @@
+#include "campuslab/features/dataset_builder.h"
+
+namespace campuslab::features {
+
+using packet::TrafficLabel;
+
+std::vector<std::string> dataset_class_names(
+    const FlowDatasetOptions& opt) {
+  if (opt.binary_target) {
+    return {"rest", std::string(to_string(*opt.binary_target))};
+  }
+  if (opt.attack_vs_benign) return {"benign", "attack"};
+  std::vector<std::string> names;
+  names.reserve(packet::kTrafficLabelCount);
+  for (std::size_t i = 0; i < packet::kTrafficLabelCount; ++i)
+    names.emplace_back(to_string(static_cast<TrafficLabel>(i)));
+  return names;
+}
+
+int dataset_label(TrafficLabel label, const FlowDatasetOptions& opt) {
+  if (opt.binary_target) return label == *opt.binary_target ? 1 : 0;
+  if (opt.attack_vs_benign) return is_attack(label) ? 1 : 0;
+  return static_cast<int>(label);
+}
+
+ml::Dataset build_flow_dataset(std::span<const capture::FlowRecord> flows,
+                               const FlowDatasetOptions& opt) {
+  ml::Dataset data(flow_feature_names(), dataset_class_names(opt));
+  for (const auto& flow : flows) {
+    const auto x = extract_flow_features(flow);
+    data.add(x, dataset_label(flow.majority_label(), opt));
+  }
+  return data;
+}
+
+ml::Dataset build_flow_dataset(const store::DataStore& store,
+                               const FlowDatasetOptions& opt) {
+  ml::Dataset data(flow_feature_names(), dataset_class_names(opt));
+  store.for_each([&](const store::StoredFlow& stored) {
+    const auto x = extract_flow_features(stored.flow);
+    data.add(x, dataset_label(stored.flow.majority_label(), opt));
+  });
+  return data;
+}
+
+}  // namespace campuslab::features

@@ -1,0 +1,65 @@
+#include "campuslab/features/flow_features.h"
+
+namespace campuslab::features {
+
+const std::vector<std::string>& flow_feature_names() {
+  static const std::vector<std::string> kNames = {
+      "duration_s",      "packets",          "bytes",
+      "payload_bytes",   "mean_pkt_bytes",   "pps",
+      "bps",             "fwd_rev_ratio",    "syn_ratio",
+      "synack_ratio",    "fin_ratio",        "rst_ratio",
+      "psh_ratio",       "is_udp",           "is_tcp",
+      "is_icmp",         "src_port",         "dst_port",
+      "src_port_is_dns", "dst_port_wellknown", "saw_dns",
+      "is_inbound",      "payload_ratio",
+  };
+  static_assert(kFlowFeatureCount == 23);
+  return kNames;
+}
+
+std::vector<double> extract_flow_features(const capture::FlowRecord& f) {
+  std::vector<double> x(kFlowFeatureCount, 0.0);
+  const double duration = f.duration().to_seconds();
+  const double packets = static_cast<double>(f.packets);
+  const double bytes = static_cast<double>(f.bytes);
+  // Sub-millisecond flows get a floor so rates stay finite and
+  // comparable (a single-packet probe is "at least 1ms of activity").
+  const double safe_duration = duration > 1e-3 ? duration : 1e-3;
+
+  auto set = [&x](FlowFeature id, double v) {
+    x[static_cast<std::size_t>(id)] = v;
+  };
+  set(FlowFeature::kDurationSeconds, duration);
+  set(FlowFeature::kPackets, packets);
+  set(FlowFeature::kBytes, bytes);
+  set(FlowFeature::kPayloadBytes, static_cast<double>(f.payload_bytes));
+  set(FlowFeature::kMeanPacketBytes, f.mean_packet_bytes());
+  set(FlowFeature::kPacketsPerSecond, packets / safe_duration);
+  set(FlowFeature::kBytesPerSecond, bytes / safe_duration);
+  set(FlowFeature::kFwdRevRatio,
+      static_cast<double>(f.fwd_packets) /
+          (static_cast<double>(f.rev_packets) + 1.0));
+  if (packets > 0) {
+    set(FlowFeature::kSynRatio, f.syn_count / packets);
+    set(FlowFeature::kSynAckRatio, f.synack_count / packets);
+    set(FlowFeature::kFinRatio, f.fin_count / packets);
+    set(FlowFeature::kRstRatio, f.rst_count / packets);
+    set(FlowFeature::kPshRatio, f.psh_count / packets);
+  }
+  set(FlowFeature::kIsUdp, f.tuple.proto == 17 ? 1.0 : 0.0);
+  set(FlowFeature::kIsTcp, f.tuple.proto == 6 ? 1.0 : 0.0);
+  set(FlowFeature::kIsIcmp, f.tuple.proto == 1 ? 1.0 : 0.0);
+  set(FlowFeature::kSrcPort, f.tuple.src_port);
+  set(FlowFeature::kDstPort, f.tuple.dst_port);
+  set(FlowFeature::kSrcPortIsDns, f.tuple.src_port == 53 ? 1.0 : 0.0);
+  set(FlowFeature::kDstPortIsWellKnown,
+      f.tuple.dst_port < 1024 ? 1.0 : 0.0);
+  set(FlowFeature::kSawDns, f.saw_dns ? 1.0 : 0.0);
+  set(FlowFeature::kIsInbound,
+      f.initial_direction == sim::Direction::kInbound ? 1.0 : 0.0);
+  set(FlowFeature::kPayloadRatio,
+      bytes > 0 ? static_cast<double>(f.payload_bytes) / bytes : 0.0);
+  return x;
+}
+
+}  // namespace campuslab::features

@@ -1,0 +1,54 @@
+// Flow-level feature extraction — the "top-down feature engineering"
+// layer (§3): with the data store populated, a researcher starts from
+// full-fidelity flow records and engineers features, with no new
+// measurement campaign per iteration.
+//
+// The feature vector is fixed and named; names flow into trained models
+// so the XAI layer can speak in these terms ("src_port_is_dns > 0.5").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campuslab/capture/flow.h"
+
+namespace campuslab::features {
+
+/// Indexes into the flow feature vector. Keep in sync with
+/// flow_feature_names().
+enum class FlowFeature : std::size_t {
+  kDurationSeconds = 0,
+  kPackets,
+  kBytes,
+  kPayloadBytes,
+  kMeanPacketBytes,
+  kPacketsPerSecond,
+  kBytesPerSecond,
+  kFwdRevRatio,
+  kSynRatio,
+  kSynAckRatio,
+  kFinRatio,
+  kRstRatio,
+  kPshRatio,
+  kIsUdp,
+  kIsTcp,
+  kIsIcmp,
+  kSrcPort,
+  kDstPort,
+  kSrcPortIsDns,
+  kDstPortIsWellKnown,
+  kSawDns,
+  kIsInbound,
+  kPayloadRatio,
+  kCount,  // sentinel
+};
+
+inline constexpr std::size_t kFlowFeatureCount =
+    static_cast<std::size_t>(FlowFeature::kCount);
+
+const std::vector<std::string>& flow_feature_names();
+
+/// Extract the feature vector from one flow record.
+std::vector<double> extract_flow_features(const capture::FlowRecord& flow);
+
+}  // namespace campuslab::features

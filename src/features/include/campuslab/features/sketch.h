@@ -1,0 +1,60 @@
+// Compact streaming sketches used by the stateful feature extractor —
+// the data structures that would live in switch registers in the
+// compiled deployment (they are sized and shaped accordingly).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "campuslab/util/time.h"
+
+namespace campuslab::features {
+
+/// Exponentially-weighted event-rate estimator over virtual time.
+/// update(t, w) decays the estimate by exp(-(t-last)/tau) then adds
+/// w/tau; the value approximates the recent rate in units/second.
+class EwmaRate {
+ public:
+  explicit EwmaRate(Duration tau = Duration::seconds(1)) noexcept
+      : tau_s_(tau.to_seconds()) {}
+
+  void update(Timestamp t, double weight) noexcept;
+
+  /// Rate estimate decayed to time `t` (no event added).
+  double rate_at(Timestamp t) const noexcept;
+
+  void reset() noexcept {
+    rate_ = 0.0;
+    last_ = Timestamp{};
+  }
+
+ private:
+  double tau_s_;
+  double rate_ = 0.0;
+  Timestamp last_{};
+};
+
+/// Linear-counting distinct estimator over a fixed 256-bit bitmap —
+/// what a P4 register array of 256 one-bit cells would hold.
+class BitmapDistinct {
+ public:
+  static constexpr std::size_t kBits = 256;
+
+  void add(std::uint64_t key) noexcept;
+
+  /// Linear-counting estimate: -m * ln(zeros/m). Saturates near m when
+  /// the bitmap fills.
+  double estimate() const noexcept;
+
+  std::size_t bits_set() const noexcept { return set_count_; }
+  void reset() noexcept {
+    words_.fill(0);
+    set_count_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBits / 64> words_{};
+  std::size_t set_count_ = 0;
+};
+
+}  // namespace campuslab::features

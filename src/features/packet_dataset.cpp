@@ -1,0 +1,29 @@
+#include "campuslab/features/packet_dataset.h"
+
+namespace campuslab::features {
+
+PacketDatasetCollector::PacketDatasetCollector(PacketDatasetOptions options)
+    : options_(options), extractor_(options.feature_config),
+      dataset_(packet_feature_names(),
+               dataset_class_names(options.labeling)),
+      rng_(options.seed) {}
+
+ml::Dataset PacketDatasetCollector::take() {
+  ml::Dataset out = std::move(dataset_);
+  dataset_ = ml::Dataset(packet_feature_names(),
+                         dataset_class_names(options_.labeling));
+  return out;
+}
+
+void PacketDatasetCollector::offer(const packet::Packet& pkt,
+                                   sim::Direction dir) {
+  ++seen_;
+  const auto x = extractor_.extract(pkt, dir);
+  if (x.empty() || dir != sim::Direction::kInbound) return;
+  const double rate = is_attack(pkt.label) ? options_.attack_sample_rate
+                                           : options_.benign_sample_rate;
+  if (rate < 1.0 && !rng_.chance(rate)) return;
+  dataset_.add(x, dataset_label(pkt.label, options_.labeling));
+}
+
+}  // namespace campuslab::features

@@ -1,0 +1,48 @@
+#include "campuslab/features/sketch.h"
+
+#include <cmath>
+
+namespace campuslab::features {
+
+void EwmaRate::update(Timestamp t, double weight) noexcept {
+  const double dt = (t - last_).to_seconds();
+  if (dt > 0) {
+    rate_ *= std::exp(-dt / tau_s_);
+    last_ = t;
+  }
+  rate_ += weight / tau_s_;
+}
+
+double EwmaRate::rate_at(Timestamp t) const noexcept {
+  const double dt = (t - last_).to_seconds();
+  return dt > 0 ? rate_ * std::exp(-dt / tau_s_) : rate_;
+}
+
+void BitmapDistinct::add(std::uint64_t key) noexcept {
+  // SplitMix avalanche, then pick one of 256 bits.
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const auto bit = static_cast<std::size_t>(z & (kBits - 1));
+  const auto word = bit / 64;
+  const std::uint64_t mask = 1ULL << (bit % 64);
+  if (!(words_[word] & mask)) {
+    words_[word] |= mask;
+    ++set_count_;
+  }
+}
+
+double BitmapDistinct::estimate() const noexcept {
+  const auto zeros = kBits - set_count_;
+  if (zeros == 0) {
+    // Bitmap saturated; report the linear-counting ceiling.
+    return static_cast<double>(kBits) *
+           std::log(static_cast<double>(kBits));
+  }
+  return -static_cast<double>(kBits) *
+         std::log(static_cast<double>(zeros) /
+                  static_cast<double>(kBits));
+}
+
+}  // namespace campuslab::features

@@ -1,0 +1,171 @@
+#include "campuslab/ml/boosting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace campuslab::ml {
+
+namespace {
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+double GradientBoosted::RegressionTree::predict(
+    std::span<const double> x) const {
+  int idx = 0;
+  while (nodes[static_cast<std::size_t>(idx)].feature >= 0) {
+    const auto& n = nodes[static_cast<std::size_t>(idx)];
+    idx = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                : n.right;
+  }
+  return nodes[static_cast<std::size_t>(idx)].value;
+}
+
+void GradientBoosted::fit(const Dataset& data) {
+  assert(data.n_classes() == 2);
+  assert(data.n_rows() > 0);
+  stages_.clear();
+
+  // Initial score: log-odds of the positive class.
+  const auto counts = data.class_counts();
+  const double pos = static_cast<double>(counts[1]) + 1.0;
+  const double neg = static_cast<double>(counts[0]) + 1.0;
+  base_score_ = std::log(pos / neg);
+
+  std::vector<double> score(data.n_rows(), base_score_);
+  std::vector<double> gradients(data.n_rows());
+  std::vector<double> hessians(data.n_rows());
+  Rng rng(config_.seed);
+
+  for (int round = 0; round < config_.n_rounds; ++round) {
+    // Negative gradient of logloss: (y - p); hessian p(1-p).
+    for (std::size_t i = 0; i < data.n_rows(); ++i) {
+      const double p = sigmoid(score[i]);
+      gradients[i] = static_cast<double>(data.label(i)) - p;
+      hessians[i] = std::max(p * (1.0 - p), 1e-9);
+    }
+
+    // Row subsample.
+    std::vector<std::size_t> rows;
+    rows.reserve(data.n_rows());
+    for (std::size_t i = 0; i < data.n_rows(); ++i)
+      if (config_.subsample >= 1.0 || rng.chance(config_.subsample))
+        rows.push_back(i);
+    if (rows.empty()) continue;
+
+    auto tree = fit_regression_tree(data, rows, gradients, hessians);
+    // Update all scores (not just the subsample).
+    for (std::size_t i = 0; i < data.n_rows(); ++i)
+      score[i] += config_.learning_rate * tree.predict(data.row(i));
+    stages_.push_back(std::move(tree));
+  }
+}
+
+GradientBoosted::RegressionTree GradientBoosted::fit_regression_tree(
+    const Dataset& data, const std::vector<std::size_t>& rows,
+    const std::vector<double>& gradients,
+    const std::vector<double>& hessians) const {
+  RegressionTree tree;
+  std::vector<std::size_t> working = rows;
+  build_regression_node(tree, data, working, gradients, hessians, 0);
+  return tree;
+}
+
+int GradientBoosted::build_regression_node(
+    RegressionTree& tree, const Dataset& data,
+    std::vector<std::size_t>& rows, const std::vector<double>& gradients,
+    const std::vector<double>& hessians, int depth) const {
+  double grad_sum = 0.0, hess_sum = 0.0;
+  for (const auto i : rows) {
+    grad_sum += gradients[i];
+    hess_sum += hessians[i];
+  }
+
+  const int node_index = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  tree.nodes.back().value = grad_sum / (hess_sum + 1.0);  // Newton + L2(1)
+
+  if (depth >= config_.max_depth ||
+      rows.size() < 2 * config_.min_samples_leaf) {
+    return node_index;
+  }
+
+  // Best split by Newton gain.
+  const double parent_gain = grad_sum * grad_sum / (hess_sum + 1.0);
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-9;
+  std::vector<std::pair<double, std::size_t>> sorted;
+  sorted.reserve(rows.size());
+
+  for (std::size_t f = 0; f < data.n_features(); ++f) {
+    sorted.clear();
+    for (const auto i : rows) sorted.emplace_back(data.row(i)[f], i);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    double left_grad = 0.0, left_hess = 0.0;
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      left_grad += gradients[sorted[k].second];
+      left_hess += hessians[sorted[k].second];
+      if (sorted[k].first == sorted[k + 1].first) continue;
+      const double right_grad = grad_sum - left_grad;
+      const double right_hess = hess_sum - left_hess;
+      const double gain = left_grad * left_grad / (left_hess + 1.0) +
+                          right_grad * right_grad / (right_hess + 1.0) -
+                          parent_gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (sorted[k].first + sorted[k + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (const auto i : rows) {
+    (data.row(i)[static_cast<std::size_t>(best_feature)] <= best_threshold
+         ? left_rows
+         : right_rows)
+        .push_back(i);
+  }
+  if (left_rows.size() < config_.min_samples_leaf ||
+      right_rows.size() < config_.min_samples_leaf)
+    return node_index;
+  rows.clear();
+  rows.shrink_to_fit();
+
+  tree.nodes[static_cast<std::size_t>(node_index)].feature = best_feature;
+  tree.nodes[static_cast<std::size_t>(node_index)].threshold =
+      best_threshold;
+  const int left = build_regression_node(tree, data, left_rows, gradients,
+                                         hessians, depth + 1);
+  tree.nodes[static_cast<std::size_t>(node_index)].left = left;
+  const int right = build_regression_node(tree, data, right_rows,
+                                          gradients, hessians, depth + 1);
+  tree.nodes[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+double GradientBoosted::decision_value(std::span<const double> x) const {
+  double score = base_score_;
+  for (const auto& stage : stages_)
+    score += config_.learning_rate * stage.predict(x);
+  return score;
+}
+
+std::vector<double> GradientBoosted::predict_proba(
+    std::span<const double> x) const {
+  const double p = sigmoid(decision_value(x));
+  return {1.0 - p, p};
+}
+
+std::size_t GradientBoosted::total_nodes() const noexcept {
+  std::size_t total = 1;  // base score
+  for (const auto& stage : stages_) total += stage.nodes.size();
+  return total;
+}
+
+}  // namespace campuslab::ml

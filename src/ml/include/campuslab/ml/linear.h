@@ -1,0 +1,52 @@
+// LogisticRegression — the simple, fast, semi-interpretable baseline.
+// One-vs-rest for multi-class; features are standardized internally so
+// regularization is scale-free.
+#pragma once
+
+#include <vector>
+
+#include "campuslab/ml/dataset.h"
+
+namespace campuslab::ml {
+
+struct LinearConfig {
+  int epochs = 200;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LinearConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data);
+
+  std::vector<double> predict_proba(
+      std::span<const double> x) const override;
+  int n_classes() const noexcept override { return n_classes_; }
+
+  /// Standardized-space weights of one one-vs-rest head (for
+  /// inspection; interpretable up to standardization).
+  const std::vector<double>& weights(int cls) const {
+    return heads_[static_cast<std::size_t>(cls)].w;
+  }
+
+ private:
+  struct Head {
+    std::vector<double> w;  // size n_features
+    double b = 0.0;
+  };
+
+  double standardized(std::span<const double> x, std::size_t f) const {
+    return (x[f] - mean_[f]) / stddev_[f];
+  }
+
+  LinearConfig config_;
+  int n_classes_ = 0;
+  std::vector<Head> heads_;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace campuslab::ml

@@ -1,0 +1,101 @@
+// DecisionTree — CART classification trees (Gini impurity, axis-aligned
+// numeric thresholds).
+//
+// The tree is both a learner and, crucially for the paper's Figure-2
+// pipeline, the *deployable* model class: its internal nodes are exactly
+// what the dataplane compiler turns into match-action entries, and its
+// root-to-leaf paths are what the XAI layer renders as operator-readable
+// rules. The node array is therefore public, stable, and serializable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campuslab/ml/dataset.h"
+#include "campuslab/util/result.h"
+
+namespace campuslab::ml {
+
+struct TreeConfig {
+  int max_depth = 8;
+  std::size_t min_samples_leaf = 5;
+  double min_gain = 1e-7;
+  /// Features considered per split; 0 = all (plain CART). Set by the
+  /// random forest to sqrt(n_features).
+  std::size_t features_per_split = 0;
+};
+
+/// One node of the fitted tree. Leaves have feature == kLeaf.
+struct TreeNode {
+  static constexpr int kLeaf = -1;
+
+  int feature = kLeaf;      // split feature index, or kLeaf
+  double threshold = 0.0;   // go left if x[feature] <= threshold
+  int left = -1;            // child node indexes
+  int right = -1;
+  std::vector<double> class_probs;  // training distribution at the node
+  std::size_t samples = 0;
+
+  bool is_leaf() const noexcept { return feature == kLeaf; }
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeConfig config = {}) : config_(config) {}
+
+  /// Fit on `data`; optional per-row weights (used by boosting and the
+  /// XAI extractor's resampling). `rng` is only consulted when
+  /// features_per_split > 0.
+  void fit(const Dataset& data, Rng* rng = nullptr,
+           std::span<const double> sample_weights = {});
+
+  std::vector<double> predict_proba(
+      std::span<const double> x) const override;
+  int n_classes() const noexcept override { return n_classes_; }
+
+  const std::vector<TreeNode>& nodes() const noexcept { return nodes_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t leaf_count() const noexcept;
+  int depth() const noexcept;
+
+  /// Leaf index reached by x (for explanation and compiler plumbing).
+  int decision_leaf(std::span<const double> x) const;
+
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+  const std::vector<std::string>& class_names() const noexcept {
+    return class_names_;
+  }
+
+  /// Human-readable rendering (indented if/else text).
+  std::string to_string() const;
+
+  /// Serialize/deserialize a fitted tree — the "open-source the
+  /// learning algorithm and ship the model" path of §5.
+  std::string serialize() const;
+  static Result<DecisionTree> deserialize(const std::string& text);
+
+ private:
+  struct SplitDecision {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& indices,
+            std::span<const double> weights, int depth, Rng* rng);
+  SplitDecision best_split(const Dataset& data,
+                           const std::vector<std::size_t>& indices,
+                           std::span<const double> weights, Rng* rng) const;
+
+  TreeConfig config_;
+  std::vector<TreeNode> nodes_;
+  int n_classes_ = 0;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace campuslab::ml

@@ -1,0 +1,87 @@
+#include "campuslab/ml/linear.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace campuslab::ml {
+
+namespace {
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void LogisticRegression::fit(const Dataset& data) {
+  assert(data.n_rows() > 0);
+  n_classes_ = data.n_classes();
+  const std::size_t n = data.n_rows();
+  const std::size_t d = data.n_features();
+
+  // Standardization statistics.
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) mean_[f] += r[f];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double delta = r[f] - mean_[f];
+      stddev_[f] += delta * delta;
+    }
+  }
+  for (auto& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;  // constant feature: neutralize
+  }
+
+  heads_.assign(static_cast<std::size_t>(n_classes_), Head{});
+  for (auto& head : heads_) head.w.assign(d, 0.0);
+
+  // Full-batch gradient descent per head (datasets here are modest).
+  std::vector<double> z(d);
+  for (int cls = 0; cls < n_classes_; ++cls) {
+    auto& head = heads_[static_cast<std::size_t>(cls)];
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      std::vector<double> grad_w(d, 0.0);
+      double grad_b = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto r = data.row(i);
+        double logit = head.b;
+        for (std::size_t f = 0; f < d; ++f) {
+          z[f] = (r[f] - mean_[f]) / stddev_[f];
+          logit += head.w[f] * z[f];
+        }
+        const double target = data.label(i) == cls ? 1.0 : 0.0;
+        const double err = sigmoid(logit) - target;
+        for (std::size_t f = 0; f < d; ++f) grad_w[f] += err * z[f];
+        grad_b += err;
+      }
+      const double scale = config_.learning_rate / static_cast<double>(n);
+      for (std::size_t f = 0; f < d; ++f)
+        head.w[f] -= scale * (grad_w[f] +
+                              config_.l2 * static_cast<double>(n) *
+                                  head.w[f]);
+      head.b -= scale * grad_b;
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba(
+    std::span<const double> x) const {
+  std::vector<double> probs(static_cast<std::size_t>(n_classes_));
+  double total = 0.0;
+  for (int cls = 0; cls < n_classes_; ++cls) {
+    const auto& head = heads_[static_cast<std::size_t>(cls)];
+    double logit = head.b;
+    for (std::size_t f = 0; f < head.w.size(); ++f)
+      logit += head.w[f] * standardized(x, f);
+    probs[static_cast<std::size_t>(cls)] = sigmoid(logit);
+    total += probs[static_cast<std::size_t>(cls)];
+  }
+  if (total > 0)
+    for (auto& p : probs) p /= total;  // normalize the OvR heads
+  return probs;
+}
+
+}  // namespace campuslab::ml

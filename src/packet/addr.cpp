@@ -1,0 +1,80 @@
+#include "campuslab/packet/addr.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace campuslab::packet {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = p + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255 || next == p) return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+std::string Ipv6Address::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf,
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x:"
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                bytes_[0], bytes_[1], bytes_[2], bytes_[3], bytes_[4],
+                bytes_[5], bytes_[6], bytes_[7], bytes_[8], bytes_[9],
+                bytes_[10], bytes_[11], bytes_[12], bytes_[13], bytes_[14],
+                bytes_[15]);
+  return buf;
+}
+
+std::uint64_t FiveTuple::hash() const noexcept {
+  // SplitMix-style avalanche over the packed tuple.
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t a = (static_cast<std::uint64_t>(src.value()) << 32) |
+                    dst.value();
+  std::uint64_t b = (static_cast<std::uint64_t>(src_port) << 32) |
+                    (static_cast<std::uint64_t>(dst_port) << 16) | proto;
+  return mix(mix(a) ^ b);
+}
+
+std::string FiveTuple::to_string() const {
+  std::string s = src.to_string();
+  s += ':';
+  s += std::to_string(src_port);
+  s += " -> ";
+  s += dst.to_string();
+  s += ':';
+  s += std::to_string(dst_port);
+  s += " proto=";
+  s += std::to_string(proto);
+  return s;
+}
+
+}  // namespace campuslab::packet

@@ -1,0 +1,233 @@
+#include "campuslab/packet/dns.h"
+
+#include <algorithm>
+
+namespace campuslab::packet {
+namespace {
+
+constexpr int kMaxCompressionJumps = 16;
+constexpr std::size_t kMaxNameLength = 255;
+
+/// Decode a possibly-compressed name starting at `offset` within `msg`.
+/// On success advances `offset` past the name as stored (i.e. to the
+/// byte after the first pointer or the terminating zero label).
+bool decode_name(std::span<const std::uint8_t> msg, std::size_t& offset,
+                 std::string& out) {
+  out.clear();
+  std::size_t pos = offset;
+  bool jumped = false;
+  int jumps = 0;
+  while (true) {
+    if (pos >= msg.size()) return false;
+    const std::uint8_t len = msg[pos];
+    if ((len & 0xC0) == 0xC0) {  // compression pointer
+      if (pos + 1 >= msg.size()) return false;
+      if (++jumps > kMaxCompressionJumps) return false;
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | msg[pos + 1];
+      if (!jumped) offset = pos + 2;
+      jumped = true;
+      pos = target;
+      continue;
+    }
+    if (len & 0xC0) return false;  // 0x40/0x80 prefixes are reserved
+    ++pos;
+    if (len == 0) break;
+    if (pos + len > msg.size()) return false;
+    if (!out.empty()) out += '.';
+    for (std::size_t i = 0; i < len; ++i) {
+      char c = static_cast<char>(msg[pos + i]);
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      out += c;
+    }
+    pos += len;
+    if (out.size() > kMaxNameLength) return false;
+  }
+  if (!jumped) offset = pos;
+  return true;
+}
+
+void encode_name(ByteWriter& w, const std::string& name) {
+  std::size_t start = 0;
+  while (start < name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string::npos) dot = name.size();
+    const std::size_t len = std::min<std::size_t>(dot - start, 63);
+    w.u8(static_cast<std::uint8_t>(len));
+    for (std::size_t i = 0; i < len; ++i)
+      w.u8(static_cast<std::uint8_t>(name[start + i]));
+    start = dot + 1;
+  }
+  w.u8(0);
+}
+
+std::size_t encoded_name_size(const std::string& name) {
+  return name.empty() ? 1 : name.size() + 2;
+}
+
+bool decode_record(std::span<const std::uint8_t> msg, std::size_t& offset,
+                   DnsRecord& rec) {
+  if (!decode_name(msg, offset, rec.name)) return false;
+  if (offset + 10 > msg.size()) return false;
+  auto u16at = [&](std::size_t o) {
+    return static_cast<std::uint16_t>((msg[o] << 8) | msg[o + 1]);
+  };
+  rec.type = u16at(offset);
+  rec.rclass = u16at(offset + 2);
+  rec.ttl = (static_cast<std::uint32_t>(u16at(offset + 4)) << 16) |
+            u16at(offset + 6);
+  const std::uint16_t rdlength = u16at(offset + 8);
+  offset += 10;
+  if (offset + rdlength > msg.size()) return false;
+  rec.rdata.assign(msg.begin() + static_cast<std::ptrdiff_t>(offset),
+                   msg.begin() + static_cast<std::ptrdiff_t>(offset) +
+                       rdlength);
+  offset += rdlength;
+  return true;
+}
+
+void encode_record(ByteWriter& w, const DnsRecord& rec) {
+  encode_name(w, rec.name);
+  w.u16(rec.type);
+  w.u16(rec.rclass);
+  w.u32(rec.ttl);
+  w.u16(static_cast<std::uint16_t>(rec.rdata.size()));
+  w.bytes(rec.rdata);
+}
+
+}  // namespace
+
+Result<DnsMessage> DnsMessage::parse(std::span<const std::uint8_t> payload) {
+  if (payload.size() < kHeaderSize)
+    return Error::make("truncated", "DNS message shorter than header");
+  DnsMessage m;
+  auto u16at = [&](std::size_t o) {
+    return static_cast<std::uint16_t>((payload[o] << 8) | payload[o + 1]);
+  };
+  m.id = u16at(0);
+  const std::uint16_t flags = u16at(2);
+  m.is_response = (flags & 0x8000) != 0;
+  m.opcode = static_cast<std::uint8_t>((flags >> 11) & 0x0F);
+  m.authoritative = (flags & 0x0400) != 0;
+  m.truncated = (flags & 0x0200) != 0;
+  m.recursion_desired = (flags & 0x0100) != 0;
+  m.recursion_available = (flags & 0x0080) != 0;
+  m.rcode = static_cast<DnsRcode>(flags & 0x000F);
+
+  const std::uint16_t qdcount = u16at(4);
+  const std::uint16_t ancount = u16at(6);
+  const std::uint16_t nscount = u16at(8);
+  const std::uint16_t arcount = u16at(10);
+
+  std::size_t offset = kHeaderSize;
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    DnsQuestion q;
+    if (!decode_name(payload, offset, q.name))
+      return Error::make("malformed", "bad question name");
+    if (offset + 4 > payload.size())
+      return Error::make("truncated", "question fields truncated");
+    q.qtype = u16at(offset);
+    q.qclass = u16at(offset + 2);
+    offset += 4;
+    m.questions.push_back(std::move(q));
+  }
+  auto parse_section = [&](std::uint16_t count,
+                           std::vector<DnsRecord>& out) -> bool {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      DnsRecord rec;
+      if (!decode_record(payload, offset, rec)) return false;
+      out.push_back(std::move(rec));
+    }
+    return true;
+  };
+  if (!parse_section(ancount, m.answers) ||
+      !parse_section(nscount, m.authorities) ||
+      !parse_section(arcount, m.additionals))
+    return Error::make("malformed", "bad resource record");
+  return m;
+}
+
+std::vector<std::uint8_t> DnsMessage::serialize() const {
+  ByteWriter w(kHeaderSize + 64);
+  w.u16(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((opcode & 0x0F) << 11);
+  if (authoritative) flags |= 0x0400;
+  if (truncated) flags |= 0x0200;
+  if (recursion_desired) flags |= 0x0100;
+  if (recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(rcode) & 0x000F;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+  for (const auto& q : questions) {
+    encode_name(w, q.name);
+    w.u16(q.qtype);
+    w.u16(q.qclass);
+  }
+  for (const auto& r : answers) encode_record(w, r);
+  for (const auto& r : authorities) encode_record(w, r);
+  for (const auto& r : additionals) encode_record(w, r);
+  return std::move(w).take();
+}
+
+std::size_t DnsMessage::answer_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : answers) total += r.rdata.size();
+  return total;
+}
+
+DnsMessage make_dns_query(std::uint16_t id, const std::string& name,
+                          DnsType type) {
+  DnsMessage m;
+  m.id = id;
+  m.is_response = false;
+  m.recursion_desired = true;
+  m.questions.push_back(
+      DnsQuestion{name, static_cast<std::uint16_t>(type), 1});
+  return m;
+}
+
+DnsMessage make_dns_response(const DnsMessage& query,
+                             std::size_t answer_count,
+                             std::size_t target_bytes) {
+  DnsMessage m;
+  m.id = query.id;
+  m.is_response = true;
+  m.authoritative = true;
+  m.recursion_desired = query.recursion_desired;
+  m.recursion_available = true;
+  m.questions = query.questions;
+
+  const std::string name =
+      query.questions.empty() ? "unknown.invalid" : query.questions[0].name;
+  if (answer_count == 0) answer_count = 1;
+
+  // Fixed per-message and per-record overheads, then pad rdata evenly to
+  // approach target_bytes.
+  std::size_t fixed = DnsMessage::kHeaderSize;
+  for (const auto& q : m.questions) fixed += encoded_name_size(q.name) + 4;
+  const std::size_t per_record = encoded_name_size(name) + 10;
+  const std::size_t overhead = fixed + answer_count * per_record;
+  const std::size_t budget =
+      target_bytes > overhead ? target_bytes - overhead : answer_count;
+  const std::size_t per_rdata =
+      std::max<std::size_t>(1, budget / answer_count);
+
+  for (std::size_t i = 0; i < answer_count; ++i) {
+    DnsRecord rec;
+    rec.name = name;
+    rec.type = static_cast<std::uint16_t>(DnsType::kTxt);
+    rec.rclass = 1;
+    rec.ttl = 300;
+    rec.rdata.assign(std::min<std::size_t>(per_rdata, 0xFFFF),
+                     static_cast<std::uint8_t>('x'));
+    m.answers.push_back(std::move(rec));
+  }
+  return m;
+}
+
+}  // namespace campuslab::packet

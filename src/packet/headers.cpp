@@ -1,0 +1,162 @@
+#include "campuslab/packet/headers.h"
+
+#include "campuslab/packet/checksum.h"
+
+namespace campuslab::packet {
+
+EthernetHeader EthernetHeader::decode(ByteReader& r) {
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> mac{};
+  auto dst = r.bytes(6);
+  if (dst.size() == 6) std::copy(dst.begin(), dst.end(), mac.begin());
+  h.dst = MacAddress(mac);
+  auto src = r.bytes(6);
+  if (src.size() == 6) std::copy(src.begin(), src.end(), mac.begin());
+  h.src = MacAddress(mac);
+  h.ether_type = r.u16();
+  return h;
+}
+
+void EthernetHeader::encode(ByteWriter& w) const {
+  w.bytes(dst.octets());
+  w.bytes(src.octets());
+  w.u16(ether_type);
+}
+
+Ipv4Header Ipv4Header::decode(ByteReader& r) {
+  Ipv4Header h;
+  const std::uint8_t ver_ihl = r.u8();
+  h.version = ver_ihl >> 4;
+  h.ihl = ver_ihl & 0x0F;
+  h.dscp_ecn = r.u8();
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  const std::uint16_t flags_frag = r.u16();
+  h.flags = static_cast<std::uint8_t>(flags_frag >> 13);
+  h.fragment_offset = flags_frag & 0x1FFF;
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.header_checksum = r.u16();
+  h.src = Ipv4Address(r.u32());
+  h.dst = Ipv4Address(r.u32());
+  if (h.ihl > 5) r.skip((static_cast<std::size_t>(h.ihl) - 5) * 4);
+  return h;
+}
+
+void Ipv4Header::encode(ByteWriter& w) const {
+  const std::size_t start = w.size();
+  w.u8(static_cast<std::uint8_t>((version << 4) | (ihl & 0x0F)));
+  w.u8(dscp_ecn);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(static_cast<std::uint16_t>((flags << 13) |
+                                   (fragment_offset & 0x1FFF)));
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum patched below
+  w.u32(src.value());
+  w.u32(dst.value());
+  const auto header =
+      w.view().subspan(start, kMinSize);
+  w.patch_u16(start + 10, internet_checksum(header));
+}
+
+std::uint16_t Ipv4Header::compute_checksum() const {
+  ByteWriter w(kMinSize);
+  Ipv4Header copy = *this;
+  copy.header_checksum = 0;
+  // encode() already zeroes and patches; reuse it and read the patch back.
+  copy.encode(w);
+  const auto view = w.view();
+  return static_cast<std::uint16_t>((view[10] << 8) | view[11]);
+}
+
+Ipv6Header Ipv6Header::decode(ByteReader& r) {
+  Ipv6Header h;
+  const std::uint32_t first = r.u32();
+  h.traffic_class = static_cast<std::uint8_t>((first >> 20) & 0xFF);
+  h.flow_label = first & 0xFFFFF;
+  h.payload_length = r.u16();
+  h.next_header = r.u8();
+  h.hop_limit = r.u8();
+  std::array<std::uint8_t, 16> addr{};
+  auto src = r.bytes(16);
+  if (src.size() == 16) std::copy(src.begin(), src.end(), addr.begin());
+  h.src = Ipv6Address(addr);
+  auto dst = r.bytes(16);
+  if (dst.size() == 16) std::copy(dst.begin(), dst.end(), addr.begin());
+  h.dst = Ipv6Address(addr);
+  return h;
+}
+
+void Ipv6Header::encode(ByteWriter& w) const {
+  w.u32((6u << 28) | (static_cast<std::uint32_t>(traffic_class) << 20) |
+        (flow_label & 0xFFFFF));
+  w.u16(payload_length);
+  w.u8(next_header);
+  w.u8(hop_limit);
+  w.bytes(src.bytes());
+  w.bytes(dst.bytes());
+}
+
+TcpHeader TcpHeader::decode(ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint16_t off_flags = r.u16();
+  h.data_offset = static_cast<std::uint8_t>(off_flags >> 12);
+  h.flags = static_cast<std::uint8_t>(off_flags & 0x3F);
+  h.window = r.u16();
+  h.checksum = r.u16();
+  h.urgent_pointer = r.u16();
+  if (h.data_offset > 5)
+    r.skip((static_cast<std::size_t>(h.data_offset) - 5) * 4);
+  return h;
+}
+
+void TcpHeader::encode(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u16(static_cast<std::uint16_t>((data_offset << 12) | flags));
+  w.u16(window);
+  w.u16(checksum);
+  w.u16(urgent_pointer);
+}
+
+UdpHeader UdpHeader::decode(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  return h;
+}
+
+void UdpHeader::encode(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+IcmpHeader IcmpHeader::decode(ByteReader& r) {
+  IcmpHeader h;
+  h.type = r.u8();
+  h.code = r.u8();
+  h.checksum = r.u16();
+  h.rest = r.u32();
+  return h;
+}
+
+void IcmpHeader::encode(ByteWriter& w) const {
+  w.u8(type);
+  w.u8(code);
+  w.u16(checksum);
+  w.u32(rest);
+}
+
+}  // namespace campuslab::packet

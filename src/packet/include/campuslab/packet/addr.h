@@ -1,0 +1,148 @@
+// Network address value types: MAC, IPv4, IPv6, and the canonical
+// five-tuple flow key.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace campuslab::packet {
+
+/// 48-bit Ethernet MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets) noexcept
+      : octets_(octets) {}
+
+  /// Deterministically derive a locally-administered unicast MAC from an
+  /// integer id (used by the simulator to give every host a stable MAC).
+  static constexpr MacAddress from_id(std::uint32_t id) noexcept {
+    return MacAddress({0x02, 0xC1, static_cast<std::uint8_t>(id >> 24),
+                       static_cast<std::uint8_t>(id >> 16),
+                       static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id)});
+  }
+
+  static constexpr MacAddress broadcast() noexcept {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  constexpr const std::array<std::uint8_t, 6>& octets() const noexcept {
+    return octets_;
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address stored host-order for arithmetic; serialized big-endian.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) noexcept
+      : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parse dotted-quad; nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  std::string to_string() const;
+
+  /// True if this address lies within prefix/len.
+  constexpr bool in_prefix(Ipv4Address prefix, int len) const noexcept {
+    if (len <= 0) return true;
+    const std::uint32_t mask =
+        len >= 32 ? 0xFFFFFFFFu : ~((1u << (32 - len)) - 1);
+    return (value_ & mask) == (prefix.value_ & mask);
+  }
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv6 address; stored as 16 bytes in network order.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  explicit constexpr Ipv6Address(std::array<std::uint8_t, 16> bytes) noexcept
+      : bytes_(bytes) {}
+
+  constexpr const std::array<std::uint8_t, 16>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv6Address&) const = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// IP protocol numbers used across the library.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Canonical 5-tuple flow key (IPv4).
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// The reverse-direction key (dst<->src swap).
+  FiveTuple reversed() const noexcept {
+    return FiveTuple{dst, src, dst_port, src_port, proto};
+  }
+
+  /// Direction-insensitive key: both directions of one conversation map
+  /// to the same value. The lexicographically smaller endpoint first.
+  FiveTuple bidirectional() const noexcept {
+    const auto a = std::tie(src, src_port);
+    const auto b = std::tie(dst, dst_port);
+    return b < a ? reversed() : *this;
+  }
+
+  std::uint64_t hash() const noexcept;
+  std::string to_string() const;
+};
+
+}  // namespace campuslab::packet
+
+template <>
+struct std::hash<campuslab::packet::FiveTuple> {
+  std::size_t operator()(
+      const campuslab::packet::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.hash());
+  }
+};
+
+template <>
+struct std::hash<campuslab::packet::Ipv4Address> {
+  std::size_t operator()(
+      const campuslab::packet::Ipv4Address& a) const noexcept {
+    // Fibonacci scramble so consecutive host addresses spread.
+    return static_cast<std::size_t>(a.value() * 0x9E3779B97F4A7C15ULL);
+  }
+};

@@ -1,0 +1,94 @@
+// DNS message parsing and construction (RFC 1035 subset).
+//
+// DNS matters to CampusLab because the paper's running example is a
+// DNS-amplification DDoS: small ANY/TXT queries with a spoofed source
+// trigger large responses aimed at the victim. The decoder handles label
+// compression; the encoder emits queries and padded responses so the
+// simulator can produce realistic amplification factors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campuslab/util/bytes.h"
+#include "campuslab/util/result.h"
+
+namespace campuslab::packet {
+
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+  kAny = 255,
+};
+
+enum class DnsRcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kRefused = 5,
+};
+
+struct DnsQuestion {
+  std::string name;  // dotted, lower-case, no trailing dot
+  std::uint16_t qtype = 1;
+  std::uint16_t qclass = 1;
+};
+
+struct DnsRecord {
+  std::string name;
+  std::uint16_t type = 1;
+  std::uint16_t rclass = 1;
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;
+};
+
+struct DnsMessage {
+  static constexpr std::size_t kHeaderSize = 12;
+  static constexpr std::uint16_t kPort = 53;
+
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t opcode = 0;
+  bool authoritative = false;
+  bool truncated = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  DnsRcode rcode = DnsRcode::kNoError;
+
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+  std::vector<DnsRecord> authorities;
+  std::vector<DnsRecord> additionals;
+
+  /// Parse a full DNS message (compression pointers supported, with a
+  /// jump limit to defeat pointer loops). Returns an error Result on
+  /// malformed input.
+  static Result<DnsMessage> parse(std::span<const std::uint8_t> payload);
+
+  /// Serialize. Encoder writes uncompressed names.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Total rdata bytes in answers — the "payload" an amplifier reflects.
+  std::size_t answer_bytes() const noexcept;
+};
+
+/// Build a standard query for `name`/`type` — the attacker/client side.
+DnsMessage make_dns_query(std::uint16_t id, const std::string& name,
+                          DnsType type);
+
+/// Build a response to `query` carrying `answer_count` records padded so
+/// the serialized message is approximately `target_bytes` — the
+/// amplifier side. target_bytes below the natural minimum is clamped.
+DnsMessage make_dns_response(const DnsMessage& query,
+                             std::size_t answer_count,
+                             std::size_t target_bytes);
+
+}  // namespace campuslab::packet

@@ -1,0 +1,146 @@
+// Protocol header value types with wire encode/decode.
+//
+// Each header is a plain struct mirroring the RFC field layout, with
+// `decode(ByteReader&)` / `encode(ByteWriter&)` members. Decode never
+// throws: it reads through the bounds-checked ByteReader and the caller
+// checks `reader.ok()` (or uses PacketView, which does so centrally).
+#pragma once
+
+#include <cstdint>
+
+#include "campuslab/packet/addr.h"
+#include "campuslab/util/bytes.h"
+
+namespace campuslab::packet {
+
+/// EtherType values the library understands.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kIpv6 = 0x86DD,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  static EthernetHeader decode(ByteReader& r);
+  void encode(ByteWriter& w) const;
+};
+
+/// IPv4 header (no options support on encode; options skipped on decode).
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+  static constexpr std::uint8_t kDefaultTtl = 64;
+
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // header length in 32-bit words
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0;           // bit2=reserved, bit1=DF, bit0=MF (of the 3-bit field)
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = kDefaultTtl;
+  std::uint8_t protocol = 0;
+  std::uint16_t header_checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  std::size_t header_bytes() const noexcept {
+    return static_cast<std::size_t>(ihl) * 4;
+  }
+
+  /// Decodes the fixed header and skips options.
+  static Ipv4Header decode(ByteReader& r);
+  /// Encodes with a correct header checksum.
+  void encode(ByteWriter& w) const;
+
+  /// Recompute the checksum this header would carry on the wire.
+  std::uint16_t compute_checksum() const;
+};
+
+/// IPv6 fixed header.
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  static Ipv6Header decode(ByteReader& r);
+  void encode(ByteWriter& w) const;
+};
+
+/// TCP flag bits.
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kUrg = 0x20;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // header length in 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent_pointer = 0;
+
+  std::size_t header_bytes() const noexcept {
+    return static_cast<std::size_t>(data_offset) * 4;
+  }
+
+  bool syn() const noexcept { return flags & TcpFlags::kSyn; }
+  bool ack_flag() const noexcept { return flags & TcpFlags::kAck; }
+  bool fin() const noexcept { return flags & TcpFlags::kFin; }
+  bool rst() const noexcept { return flags & TcpFlags::kRst; }
+
+  /// Decodes the fixed header and skips options.
+  static TcpHeader decode(ByteReader& r);
+  void encode(ByteWriter& w) const;  // checksum written as stored
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  static UdpHeader decode(ByteReader& r);
+  void encode(ByteWriter& w) const;
+};
+
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+  static constexpr std::uint8_t kEchoReply = 0;
+  static constexpr std::uint8_t kDestUnreachable = 3;
+  static constexpr std::uint8_t kEchoRequest = 8;
+  static constexpr std::uint8_t kTimeExceeded = 11;
+
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint32_t rest = 0;  // id/seq for echo, unused/MTU for others
+
+  static IcmpHeader decode(ByteReader& r);
+  void encode(ByteWriter& w) const;
+};
+
+}  // namespace campuslab::packet

@@ -1,0 +1,40 @@
+// Ground-truth traffic labels.
+//
+// The paper's central "data problem" is that labelled network data is
+// largely non-existent. CampusLab's simulator labels every packet at
+// generation time, and the label travels with the packet through capture
+// and into the data store — giving the platform the IMAGENET-style
+// supervised ground truth the paper calls for.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace campuslab::packet {
+
+enum class TrafficLabel : std::uint8_t {
+  kBenign = 0,
+  kDnsAmplification = 1,
+  kSynFlood = 2,
+  kPortScan = 3,
+  kSshBruteForce = 4,
+};
+
+constexpr std::string_view to_string(TrafficLabel label) noexcept {
+  switch (label) {
+    case TrafficLabel::kBenign: return "benign";
+    case TrafficLabel::kDnsAmplification: return "dns_amplification";
+    case TrafficLabel::kSynFlood: return "syn_flood";
+    case TrafficLabel::kPortScan: return "port_scan";
+    case TrafficLabel::kSshBruteForce: return "ssh_brute_force";
+  }
+  return "unknown";
+}
+
+constexpr bool is_attack(TrafficLabel label) noexcept {
+  return label != TrafficLabel::kBenign;
+}
+
+inline constexpr std::size_t kTrafficLabelCount = 5;
+
+}  // namespace campuslab::packet

@@ -1,0 +1,91 @@
+// Packet: the timestamped frame that flows through the whole platform.
+// PacketView: a zero-copy layered decoder over a frame's bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "campuslab/packet/addr.h"
+#include "campuslab/packet/dns.h"
+#include "campuslab/packet/headers.h"
+#include "campuslab/packet/label.h"
+#include "campuslab/util/time.h"
+
+namespace campuslab::packet {
+
+/// An owning, timestamped frame. `label` is generation-time ground truth
+/// (kBenign for anything not injected by an attack generator) and is
+/// metadata: it is never serialized into the frame bytes, mirroring how
+/// a labelled dataset annotates rather than alters its samples.
+struct Packet {
+  Timestamp ts;
+  std::vector<std::uint8_t> data;
+  TrafficLabel label = TrafficLabel::kBenign;
+
+  std::size_t size() const noexcept { return data.size(); }
+  std::span<const std::uint8_t> bytes() const noexcept { return data; }
+};
+
+/// Layered decode of one frame. Construction parses L2-L4 eagerly (a
+/// handful of bounded reads); `dns()` parses the application layer on
+/// demand. The view does not own the bytes: it must not outlive them.
+class PacketView {
+ public:
+  explicit PacketView(std::span<const std::uint8_t> frame);
+  explicit PacketView(const Packet& pkt) : PacketView(pkt.bytes()) {}
+
+  /// False if the frame was too short or not IPv4/IPv6 — callers treat
+  /// such frames as opaque (they still count toward byte totals).
+  bool valid() const noexcept { return valid_; }
+
+  std::size_t frame_size() const noexcept { return frame_.size(); }
+
+  bool is_ipv4() const noexcept { return has_ipv4_; }
+  bool is_ipv6() const noexcept { return has_ipv6_; }
+
+  /// Preconditions: the corresponding has-layer accessor is true.
+  const EthernetHeader& eth() const noexcept { return eth_; }
+  const Ipv4Header& ipv4() const noexcept { return ipv4_; }
+  const Ipv6Header& ipv6() const noexcept { return ipv6_; }
+
+  bool is_tcp() const noexcept { return has_tcp_; }
+  bool is_udp() const noexcept { return has_udp_; }
+  bool is_icmp() const noexcept { return has_icmp_; }
+  const TcpHeader& tcp() const noexcept { return tcp_; }
+  const UdpHeader& udp() const noexcept { return udp_; }
+  const IcmpHeader& icmp() const noexcept { return icmp_; }
+
+  /// Transport payload (after L4 header). Empty if none.
+  std::span<const std::uint8_t> payload() const noexcept { return payload_; }
+
+  /// 5-tuple for IPv4 TCP/UDP (ports zero for other protocols);
+  /// nullopt when there is no IPv4 layer.
+  std::optional<FiveTuple> five_tuple() const noexcept;
+
+  /// True when either UDP port is 53.
+  bool is_dns() const noexcept;
+
+  /// Parse the payload as DNS. Precondition: is_dns() (callable anyway;
+  /// returns an error Result for non-DNS payloads).
+  Result<DnsMessage> dns() const { return DnsMessage::parse(payload_); }
+
+ private:
+  std::span<const std::uint8_t> frame_;
+  EthernetHeader eth_{};
+  Ipv4Header ipv4_{};
+  Ipv6Header ipv6_{};
+  TcpHeader tcp_{};
+  UdpHeader udp_{};
+  IcmpHeader icmp_{};
+  std::span<const std::uint8_t> payload_{};
+  bool valid_ = false;
+  bool has_ipv4_ = false;
+  bool has_ipv6_ = false;
+  bool has_tcp_ = false;
+  bool has_udp_ = false;
+  bool has_icmp_ = false;
+};
+
+}  // namespace campuslab::packet

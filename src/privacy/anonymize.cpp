@@ -1,0 +1,62 @@
+#include "campuslab/privacy/anonymize.h"
+
+namespace campuslab::privacy {
+
+std::uint64_t PrefixPreservingAnonymizer::prf(std::uint32_t prefix,
+                                              int bits) const noexcept {
+  // Keyed SplitMix-style avalanche over (key, prefix, length).
+  std::uint64_t z = key_ ^ (static_cast<std::uint64_t>(prefix) << 8) ^
+                    static_cast<std::uint64_t>(bits);
+  z = (z + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+packet::Ipv4Address PrefixPreservingAnonymizer::anonymize(
+    packet::Ipv4Address addr) const noexcept {
+  const std::uint32_t v = addr.value();
+  std::uint32_t out = 0;
+  for (int i = 0; i < 32; ++i) {
+    // The i high bits already processed form the prefix context.
+    const std::uint32_t prefix = i == 0 ? 0u : (v >> (32 - i));
+    const std::uint32_t orig_bit = (v >> (31 - i)) & 1u;
+    const std::uint32_t flip = static_cast<std::uint32_t>(
+        prf(prefix, i) & 1u);
+    out = (out << 1) | (orig_bit ^ flip);
+  }
+  return packet::Ipv4Address(out);
+}
+
+std::uint16_t PrefixPreservingAnonymizer::anonymize_port(
+    std::uint16_t port) const noexcept {
+  // Feistel-style two-round permutation within each class so the
+  // mapping is bijective and class-preserving.
+  const bool well_known = port < 1024;
+  const std::uint16_t base = well_known ? 0 : 1024;
+  const std::uint32_t range = well_known ? 1024u : (65536u - 1024u);
+  // Keyed affine permutation x -> a*x + b (mod range), iterated. The
+  // multipliers are coprime with both range sizes (2^10 and 2^10*63),
+  // so each round is a bijection and the composition is too.
+  static constexpr std::uint32_t kMultipliers[] = {5, 11, 13, 25};
+  std::uint32_t x = port - base;
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t r = prf(0xF0F0 + static_cast<std::uint32_t>(round),
+                                200 + round);
+    const std::uint32_t a = kMultipliers[r & 3];
+    const auto b = static_cast<std::uint32_t>((r >> 2) % range);
+    x = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(a) * x + b) % range);
+  }
+  return static_cast<std::uint16_t>(base + x);
+}
+
+packet::Ipv4Address CachedAnonymizer::anonymize(packet::Ipv4Address addr) {
+  const auto it = cache_.find(addr.value());
+  if (it != cache_.end()) return packet::Ipv4Address(it->second);
+  const auto anon = inner_.anonymize(addr);
+  cache_.emplace(addr.value(), anon.value());
+  return anon;
+}
+
+}  // namespace campuslab::privacy

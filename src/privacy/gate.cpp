@@ -1,0 +1,59 @@
+#include "campuslab/privacy/gate.h"
+
+namespace campuslab::privacy {
+
+Result<std::vector<store::StoredFlow>> PrivacyGate::query(
+    const store::FlowQuery& query, Role role, const std::string& requester,
+    Timestamp now) {
+  const auto& rights = policy_.rights(role);
+  if (!rights.allowed) {
+    audit_.push_back(AuditEntry{now, role, requester, false, 0});
+    return Error::make("denied", std::string(to_string(role)) +
+                                     " role has no access to the store");
+  }
+
+  // Clip the query window to the role's reach-back allowance.
+  store::FlowQuery clipped = query;
+  const Timestamp horizon = now - rights.max_window;
+  if (!clipped.from || *clipped.from < horizon) clipped.from = horizon;
+
+  // A caller filtering on raw addresses it is not allowed to see would
+  // leak membership ("does host X appear?"); reject instead.
+  if (!rights.raw_addresses &&
+      (clipped.src || clipped.dst || clipped.host)) {
+    audit_.push_back(AuditEntry{now, role, requester, false, 0});
+    return Error::make("denied",
+                       "role may not filter by raw host addresses");
+  }
+  if (!rights.labels && clipped.label) {
+    audit_.push_back(AuditEntry{now, role, requester, false, 0});
+    return Error::make("denied", "role may not filter by labels");
+  }
+
+  const auto raw = store_->query(clipped);
+  std::vector<store::StoredFlow> out;
+  out.reserve(raw.size());
+  for (const auto* stored : raw) out.push_back(sanitize(*stored, rights));
+  audit_.push_back(AuditEntry{now, role, requester, true, out.size()});
+  return out;
+}
+
+store::StoredFlow PrivacyGate::sanitize(const store::StoredFlow& stored,
+                                        const AccessRights& rights) {
+  store::StoredFlow copy = stored;
+  auto& f = copy.flow;
+  if (!rights.raw_addresses) {
+    f.tuple.src = anonymizer_.anonymize(f.tuple.src);
+    f.tuple.dst = anonymizer_.anonymize(f.tuple.dst);
+  }
+  if (!rights.raw_ports) {
+    f.tuple.src_port = anonymizer_.anonymize_port(f.tuple.src_port);
+    f.tuple.dst_port = anonymizer_.anonymize_port(f.tuple.dst_port);
+  }
+  if (!rights.labels) {
+    f.label_packets = {};  // ground truth withheld
+  }
+  return copy;
+}
+
+}  // namespace campuslab::privacy

@@ -1,0 +1,56 @@
+// Prefix-preserving IP address anonymization (Crypto-PAn construction).
+//
+// §5 "Revisiting data privacy": the store must be usable for research
+// without exposing who-talked-to-whom. Prefix preservation keeps
+// subnet structure intact — two addresses sharing a k-bit prefix map to
+// anonymized addresses sharing exactly a k-bit prefix — so topology-
+// and locality-based features survive anonymization while identities
+// do not.
+//
+// Construction: anonymized bit i = original bit i XOR PRF_key(bits 0..i-1),
+// evaluated per prefix with a keyed pseudo-random function (here a
+// SplitMix64-based keyed mix; the *structure* is Crypto-PAn's, the PRF
+// is not cryptographically certified — adequate for a research store,
+// stated honestly).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "campuslab/packet/addr.h"
+
+namespace campuslab::privacy {
+
+class PrefixPreservingAnonymizer {
+ public:
+  explicit PrefixPreservingAnonymizer(std::uint64_t key) noexcept
+      : key_(key) {}
+
+  /// Deterministic, prefix-preserving mapping.
+  packet::Ipv4Address anonymize(packet::Ipv4Address addr) const noexcept;
+
+  /// Port anonymization: keyed permutation over the well-known /
+  /// ephemeral split (well-known ports map among themselves so
+  /// service identity class survives, exact service does not).
+  std::uint16_t anonymize_port(std::uint16_t port) const noexcept;
+
+ private:
+  std::uint64_t prf(std::uint32_t prefix, int bits) const noexcept;
+  std::uint64_t key_;
+};
+
+/// Memoizing wrapper for hot paths (per-packet anonymization in the
+/// capture pipeline). Not thread-safe; one instance per consumer.
+class CachedAnonymizer {
+ public:
+  explicit CachedAnonymizer(std::uint64_t key) : inner_(key) {}
+
+  packet::Ipv4Address anonymize(packet::Ipv4Address addr);
+  std::uint64_t cache_size() const noexcept { return cache_.size(); }
+
+ private:
+  PrefixPreservingAnonymizer inner_;
+  std::unordered_map<std::uint32_t, std::uint32_t> cache_;
+};
+
+}  // namespace campuslab::privacy

@@ -1,0 +1,57 @@
+// PrivacyGate — role-arbitrated, anonymizing view over the DataStore.
+//
+// Every access passes through the gate: the requester's role decides
+// whether the query runs at all, how far back it may reach, and whether
+// the returned flows carry raw or anonymized identifiers. Every request
+// is recorded in an audit trail — the operational artifact that lets an
+// IT organization demonstrate the "guaranteed to be only used for
+// improving the network's security and performance" promise of §5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campuslab/privacy/anonymize.h"
+#include "campuslab/privacy/policy.h"
+#include "campuslab/store/datastore.h"
+
+namespace campuslab::privacy {
+
+struct AuditEntry {
+  Timestamp when;
+  Role role;
+  std::string requester;
+  bool granted = false;
+  std::size_t results = 0;
+};
+
+class PrivacyGate {
+ public:
+  PrivacyGate(const store::DataStore& store, AccessPolicy policy,
+              std::uint64_t anonymization_key)
+      : store_(&store), policy_(std::move(policy)),
+        anonymizer_(anonymization_key) {}
+
+  /// Run `query` on behalf of `requester` acting as `role` at (virtual)
+  /// time `now`. Returns sanitized copies, or an error when the role is
+  /// denied. The time window is clipped to the role's max_window.
+  Result<std::vector<store::StoredFlow>> query(
+      const store::FlowQuery& query, Role role,
+      const std::string& requester, Timestamp now);
+
+  const std::vector<AuditEntry>& audit_log() const noexcept {
+    return audit_;
+  }
+
+ private:
+  store::StoredFlow sanitize(const store::StoredFlow& stored,
+                             const AccessRights& rights);
+
+  const store::DataStore* store_;
+  AccessPolicy policy_;
+  PrefixPreservingAnonymizer anonymizer_;
+  std::vector<AuditEntry> audit_;
+};
+
+}  // namespace campuslab::privacy

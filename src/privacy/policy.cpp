@@ -1,0 +1,129 @@
+#include "campuslab/privacy/policy.h"
+
+#include <algorithm>
+
+namespace campuslab::privacy {
+
+namespace {
+
+/// 16-byte keyed digest written over the payload area (kHash action).
+void hash_in_place(std::span<std::uint8_t> payload, std::uint64_t key) {
+  std::uint64_t h1 = key ^ 0x9E3779B97F4A7C15ULL;
+  std::uint64_t h2 = key ^ 0xC2B2AE3D27D4EB4FULL;
+  for (const auto b : payload) {
+    h1 = (h1 ^ b) * 0x100000001B3ULL;
+    h2 = (h2 + b) * 0xC6A4A7935BD1E995ULL;
+  }
+  const std::size_t keep = std::min<std::size_t>(payload.size(), 16);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const std::uint64_t h = i < 8 ? h1 : h2;
+    payload[i] = static_cast<std::uint8_t>(h >> ((i % 8) * 8));
+  }
+  std::fill(payload.begin() + static_cast<std::ptrdiff_t>(keep),
+            payload.end(), 0);
+}
+
+}  // namespace
+
+PayloadPolicy PayloadPolicy::conservative() {
+  PayloadPolicy p;
+  p.set_default(PayloadAction::kTruncate, 32);
+  p.set_port_rule(53, PayloadAction::kKeep);       // DNS
+  p.set_port_rule(80, PayloadAction::kTruncate, 64);
+  p.set_port_rule(443, PayloadAction::kTruncate, 64);
+  p.set_port_rule(25, PayloadAction::kStrip);      // SMTP bodies
+  p.set_port_rule(22, PayloadAction::kStrip);      // SSH
+  return p;
+}
+
+PayloadPolicy PayloadPolicy::keep_all() {
+  PayloadPolicy p;
+  p.set_default(PayloadAction::kKeep);
+  return p;
+}
+
+void PayloadPolicy::set_default(PayloadAction action,
+                                std::size_t truncate_to) {
+  default_rule_ = Rule{action, truncate_to};
+}
+
+void PayloadPolicy::set_port_rule(std::uint16_t port, PayloadAction action,
+                                  std::size_t truncate_to) {
+  port_rules_[port] = Rule{action, truncate_to};
+}
+
+PayloadAction PayloadPolicy::action_for(
+    std::uint16_t src_port, std::uint16_t dst_port) const noexcept {
+  // The service side of a conversation is the well-known (smaller)
+  // port; check both, most-specific rule wins by lower port number.
+  const auto lo = std::min(src_port, dst_port);
+  const auto hi = std::max(src_port, dst_port);
+  if (const auto it = port_rules_.find(lo); it != port_rules_.end())
+    return it->second.action;
+  if (const auto it = port_rules_.find(hi); it != port_rules_.end())
+    return it->second.action;
+  return default_rule_.action;
+}
+
+void PayloadPolicy::apply(packet::Packet& pkt, std::uint64_t hash_key) const {
+  packet::PacketView view(pkt);
+  if (!view.valid() || view.payload().empty()) return;
+  std::uint16_t sport = 0, dport = 0;
+  if (const auto t = view.five_tuple()) {
+    sport = t->src_port;
+    dport = t->dst_port;
+  }
+  // Locate the payload inside the owned buffer via offsets.
+  const auto payload_view = view.payload();
+  const auto offset = static_cast<std::size_t>(
+      payload_view.data() - pkt.data.data());
+  const auto len = payload_view.size();
+
+  const auto lo = std::min(sport, dport);
+  const auto hi = std::max(sport, dport);
+  Rule rule = default_rule_;
+  if (const auto it = port_rules_.find(lo); it != port_rules_.end())
+    rule = it->second;
+  else if (const auto it2 = port_rules_.find(hi); it2 != port_rules_.end())
+    rule = it2->second;
+
+  switch (rule.action) {
+    case PayloadAction::kKeep:
+      return;
+    case PayloadAction::kTruncate:
+      if (len > rule.truncate_to)
+        pkt.data.resize(offset + rule.truncate_to);
+      return;
+    case PayloadAction::kHash:
+      hash_in_place(std::span(pkt.data).subspan(offset, len), hash_key);
+      return;
+    case PayloadAction::kStrip:
+      pkt.data.resize(offset);
+      return;
+  }
+}
+
+AccessPolicy AccessPolicy::campus_default() {
+  AccessPolicy p;
+  p.set_rights(Role::kOperator,
+               AccessRights{true, true, true, true,
+                            Duration::hours(24 * 365)});
+  p.set_rights(Role::kAuditor,
+               AccessRights{true, true, false, false,
+                            Duration::hours(24 * 90)});
+  p.set_rights(Role::kResearcher,
+               AccessRights{true, false, false, true,
+                            Duration::hours(24 * 30)});
+  p.set_rights(Role::kExternal, AccessRights{});  // denied
+  return p;
+}
+
+void AccessPolicy::set_rights(Role role, AccessRights rights) {
+  by_role_[static_cast<std::size_t>(role)] = rights;
+}
+
+const AccessRights& AccessPolicy::rights(Role role) const noexcept {
+  return by_role_[static_cast<std::size_t>(role)];
+}
+
+}  // namespace campuslab::privacy

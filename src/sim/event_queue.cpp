@@ -1,0 +1,41 @@
+#include "campuslab/sim/event_queue.h"
+
+#include <utility>
+
+namespace campuslab::sim {
+
+void EventQueue::schedule_at(Timestamp at, Handler fn) {
+  if (at < now_) at = now_;
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the handler must be moved out before
+  // pop, so copy the cheap fields and move the function via const_cast —
+  // contained objects are never const-qualified in the underlying vector.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Handler fn = std::move(top.fn);
+  now_ = top.at;
+  heap_.pop();
+  fn();
+  return true;
+}
+
+std::size_t EventQueue::run_until(Timestamp end) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= end) {
+    run_one();
+    ++executed;
+  }
+  if (now_ < end) now_ = end;
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (run_one()) ++executed;
+  return executed;
+}
+
+}  // namespace campuslab::sim

@@ -1,0 +1,158 @@
+// Attack injectors — labelled malicious traffic.
+//
+// Each injector emits real wire-format packets carrying its ground-truth
+// TrafficLabel. The DNS amplification attack is the paper's running
+// example (§2): reflectors return large DNS responses (UDP source port
+// 53) to a spoofed victim inside the campus, so the campus border sees a
+// high-rate inbound flood of large packets from moderately many sources.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campuslab/sim/campus.h"
+
+namespace campuslab::sim {
+
+/// DNS amplification / reflection flood (paper §2 running example).
+struct DnsAmplificationConfig {
+  Timestamp start;
+  Duration duration = Duration::seconds(60);
+  double response_rate_pps = 20'000;  // reflected responses per second
+  std::size_t response_bytes = 3000;  // DNS payload size per response
+  int reflectors = 400;               // distinct open-resolver addresses
+  /// Victim inside the campus; default (unset) picks the first client.
+  packet::Ipv4Address victim{};
+};
+
+/// Spoofed-source SYN flood against a campus server.
+struct SynFloodConfig {
+  Timestamp start;
+  Duration duration = Duration::seconds(60);
+  double syn_rate_pps = 10'000;
+  std::uint16_t target_port = 443;  // campus web server by default
+};
+
+/// Horizontal/vertical scan of campus address space.
+struct PortScanConfig {
+  Timestamp start;
+  Duration duration = Duration::seconds(120);
+  double probe_rate_pps = 300;
+  int ports_per_host = 12;
+};
+
+/// Repeated SSH login attempts against the bastion.
+struct SshBruteForceConfig {
+  Timestamp start;
+  Duration duration = Duration::seconds(180);
+  double attempts_per_second = 8;
+};
+
+/// Benign flash crowd — not an attack, but the attack-shaped event that
+/// stress-tests mitigation safety (§4 "robustness"): a legitimate
+/// high-rate stream (live lecture, exam submission deadline, popular
+/// download) toward one campus client. Rate signatures resemble a
+/// flood; labels stay kBenign, so any mitigation that sheds it is
+/// measurable collateral damage.
+struct FlashCrowdConfig {
+  Timestamp start;
+  Duration duration = Duration::seconds(30);
+  double rate_pps = 3000;
+  std::size_t payload_bytes = 1200;
+  /// Index into topology.clients() for the receiving host.
+  std::size_t client_index = 5;
+  int sources = 40;  // CDN edge nodes serving the event
+};
+
+/// Common interface: arm the injector once; emission is event-driven.
+class AttackInjector {
+ public:
+  virtual ~AttackInjector() = default;
+  virtual void start(CampusNetwork& net, std::uint64_t seed) = 0;
+  virtual std::uint64_t packets_emitted() const noexcept = 0;
+  virtual packet::TrafficLabel label() const noexcept = 0;
+};
+
+class DnsAmplificationAttack final : public AttackInjector {
+ public:
+  explicit DnsAmplificationAttack(DnsAmplificationConfig cfg)
+      : cfg_(cfg) {}
+  void start(CampusNetwork& net, std::uint64_t seed) override;
+  std::uint64_t packets_emitted() const noexcept override {
+    return emitted_;
+  }
+  packet::TrafficLabel label() const noexcept override {
+    return packet::TrafficLabel::kDnsAmplification;
+  }
+  const DnsAmplificationConfig& config() const noexcept { return cfg_; }
+
+ private:
+  DnsAmplificationConfig cfg_;
+  std::uint64_t emitted_ = 0;
+};
+
+class SynFloodAttack final : public AttackInjector {
+ public:
+  explicit SynFloodAttack(SynFloodConfig cfg) : cfg_(cfg) {}
+  void start(CampusNetwork& net, std::uint64_t seed) override;
+  std::uint64_t packets_emitted() const noexcept override {
+    return emitted_;
+  }
+  packet::TrafficLabel label() const noexcept override {
+    return packet::TrafficLabel::kSynFlood;
+  }
+
+ private:
+  SynFloodConfig cfg_;
+  std::uint64_t emitted_ = 0;
+};
+
+class PortScanAttack final : public AttackInjector {
+ public:
+  explicit PortScanAttack(PortScanConfig cfg) : cfg_(cfg) {}
+  void start(CampusNetwork& net, std::uint64_t seed) override;
+  std::uint64_t packets_emitted() const noexcept override {
+    return emitted_;
+  }
+  packet::TrafficLabel label() const noexcept override {
+    return packet::TrafficLabel::kPortScan;
+  }
+
+ private:
+  PortScanConfig cfg_;
+  std::uint64_t emitted_ = 0;
+};
+
+class FlashCrowdEvent final : public AttackInjector {
+ public:
+  explicit FlashCrowdEvent(FlashCrowdConfig cfg) : cfg_(cfg) {}
+  void start(CampusNetwork& net, std::uint64_t seed) override;
+  std::uint64_t packets_emitted() const noexcept override {
+    return emitted_;
+  }
+  packet::TrafficLabel label() const noexcept override {
+    return packet::TrafficLabel::kBenign;
+  }
+
+ private:
+  FlashCrowdConfig cfg_;
+  std::uint64_t emitted_ = 0;
+};
+
+class SshBruteForceAttack final : public AttackInjector {
+ public:
+  explicit SshBruteForceAttack(SshBruteForceConfig cfg) : cfg_(cfg) {}
+  void start(CampusNetwork& net, std::uint64_t seed) override;
+  std::uint64_t packets_emitted() const noexcept override {
+    return emitted_;
+  }
+  packet::TrafficLabel label() const noexcept override {
+    return packet::TrafficLabel::kSshBruteForce;
+  }
+
+ private:
+  SshBruteForceConfig cfg_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace campuslab::sim

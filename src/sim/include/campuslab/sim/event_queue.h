@@ -1,0 +1,65 @@
+// Discrete-event simulation core.
+//
+// A single-threaded calendar queue: events fire in timestamp order, ties
+// broken by insertion order so runs are exactly reproducible. All of
+// CampusLab's virtual world — traffic sessions, link deliveries, flow
+// timeouts, control-loop windows — runs on one EventQueue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "campuslab/util/time.h"
+
+namespace campuslab::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  Timestamp now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `at`. Events scheduled in the past
+  /// fire "immediately" (at current time, after already-pending events
+  /// for that time).
+  void schedule_at(Timestamp at, Handler fn);
+
+  /// Schedule `fn` after a relative delay from now.
+  void schedule_in(Duration delay, Handler fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Pop and run the earliest event. Returns false when empty.
+  bool run_one();
+
+  /// Run all events with timestamp <= `end`; afterwards now() == end
+  /// (even if the queue drained early). Returns events executed.
+  std::size_t run_until(Timestamp end);
+
+  /// Drain the queue completely. Returns events executed.
+  std::size_t run_all();
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Timestamp at;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO within a timestamp
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Timestamp now_{};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace campuslab::sim

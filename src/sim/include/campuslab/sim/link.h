@@ -1,0 +1,75 @@
+// Link — a rate-limited, delay-and-queue model of one direction of a
+// physical link (the campus upstream, in our topology).
+//
+// The transmitter serializes frames at `rate_bps`; frames arriving while
+// it is busy wait in a byte-bounded FIFO (modelled analytically via the
+// busy-until horizon), and frames that would overflow the buffer are
+// tail-dropped. This is what turns an attack from "more packets" into
+// real collateral damage: benign packets queue behind and drown in the
+// flood, exactly the harm the mitigation loop is meant to remove.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "campuslab/util/time.h"
+
+namespace campuslab::sim {
+
+struct LinkStats {
+  std::uint64_t frames_forwarded = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t bytes_dropped = 0;
+
+  double drop_rate() const noexcept {
+    const auto total = frames_forwarded + frames_dropped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(frames_dropped) /
+                            static_cast<double>(total);
+  }
+};
+
+class Link {
+ public:
+  /// rate_bps: serialization rate in bits/second (> 0).
+  /// propagation: one-way latency added after serialization.
+  /// queue_bytes: transmit buffer; 0 means drop anything that must wait.
+  Link(double rate_bps, Duration propagation, std::size_t queue_bytes);
+
+  /// Offer a frame of `frame_bytes` at time `now`. Returns the delivery
+  /// timestamp at the far end, or nullopt if the frame was tail-dropped.
+  std::optional<Timestamp> transmit(std::size_t frame_bytes, Timestamp now);
+
+  /// Bytes currently waiting or in serialization at time `now`.
+  std::size_t backlog_bytes(Timestamp now) const noexcept;
+
+  /// Queueing + serialization delay a frame offered at `now` would see.
+  Duration queuing_delay(Timestamp now) const noexcept;
+
+  const LinkStats& stats() const noexcept { return stats_; }
+  double rate_bps() const noexcept { return rate_bps_; }
+  Duration propagation() const noexcept { return propagation_; }
+
+  /// Add/remove extra propagation delay (e.g. to emulate an upstream
+  /// provider problem in the performance-diagnosis scenario).
+  void set_extra_delay(Duration d) noexcept { extra_delay_ = d; }
+  Duration extra_delay() const noexcept { return extra_delay_; }
+
+  void reset_stats() noexcept { stats_ = LinkStats{}; }
+
+ private:
+  Duration serialization_time(std::size_t bytes) const noexcept {
+    return Duration::nanos(static_cast<std::int64_t>(
+        static_cast<double>(bytes) * 8.0 / rate_bps_ * 1e9));
+  }
+
+  double rate_bps_;
+  Duration propagation_;
+  Duration extra_delay_{};
+  std::size_t queue_bytes_;
+  Timestamp busy_until_{};
+  LinkStats stats_;
+};
+
+}  // namespace campuslab::sim

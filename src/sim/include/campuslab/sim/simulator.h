@@ -1,0 +1,64 @@
+// CampusSimulator — one-stop facade wiring the event queue, the campus
+// border network, the benign traffic mix and any attack injectors.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   sim::ScenarioConfig scenario;
+//   scenario.campus.seed = 42;
+//   scenario.dns_amplification.push_back({.start = Timestamp::from_seconds(60)});
+//   sim::CampusSimulator simulator(scenario);
+//   simulator.network().set_tap([&](const packet::Packet& p, sim::Direction d) {
+//     engine.offer(p, d);   // feed the capture pipeline
+//   });
+//   simulator.run_for(Duration::minutes(5));
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "campuslab/sim/attacks.h"
+#include "campuslab/sim/campus.h"
+#include "campuslab/sim/traffic.h"
+
+namespace campuslab::sim {
+
+/// Everything that defines one simulated campus run.
+struct ScenarioConfig {
+  CampusConfig campus;
+  AppRates rates;
+  std::vector<DnsAmplificationConfig> dns_amplification;
+  std::vector<SynFloodConfig> syn_flood;
+  std::vector<PortScanConfig> port_scan;
+  std::vector<SshBruteForceConfig> ssh_brute_force;
+  std::vector<FlashCrowdConfig> flash_crowds;
+};
+
+class CampusSimulator {
+ public:
+  explicit CampusSimulator(const ScenarioConfig& scenario);
+
+  CampusNetwork& network() noexcept { return *network_; }
+  const CampusNetwork& network() const noexcept { return *network_; }
+  EventQueue& events() noexcept { return events_; }
+  TrafficGenerator& traffic() noexcept { return *traffic_; }
+  const std::vector<std::unique_ptr<AttackInjector>>& attacks()
+      const noexcept {
+    return attacks_;
+  }
+
+  /// Advance virtual time by `d`, firing all events due in the window.
+  /// Returns the number of events executed.
+  std::size_t run_for(Duration d) {
+    return events_.run_until(events_.now() + d);
+  }
+
+  Timestamp now() const noexcept { return events_.now(); }
+
+ private:
+  EventQueue events_;
+  std::unique_ptr<CampusNetwork> network_;
+  std::unique_ptr<TrafficGenerator> traffic_;
+  std::vector<std::unique_ptr<AttackInjector>> attacks_;
+};
+
+}  // namespace campuslab::sim

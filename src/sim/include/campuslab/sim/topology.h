@@ -1,0 +1,104 @@
+// Campus topology and address plan.
+//
+// The simulated campus follows the shape the paper sketches: a
+// small-to-moderate enterprise with a professional address plan, a
+// server DMZ, wired labs/offices and a large WiFi population, connected
+// to the Internet through one 10-20 Gbps upstream — the vantage point
+// where the paper proposes to capture "every packet that enters or
+// leaves the enterprise".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campuslab/packet/addr.h"
+#include "campuslab/packet/builder.h"
+#include "campuslab/util/rng.h"
+#include "campuslab/util/time.h"
+
+namespace campuslab::sim {
+
+/// Host roles drive which traffic mixes a host participates in.
+enum class HostRole : std::uint8_t {
+  kWiredClient,   // labs, offices
+  kWifiClient,    // student WiFi
+  kWebServer,     // campus web presence
+  kDnsServer,     // campus resolver / authoritative
+  kMailServer,
+  kSshGateway,    // remote-access bastion
+  kStorageServer, // backup / research data
+};
+
+struct Host {
+  std::uint32_t id = 0;
+  HostRole role = HostRole::kWiredClient;
+  packet::Endpoint endpoint;  // MAC + IP (port filled per flow)
+};
+
+/// Campus sizing and upstream provisioning.
+struct CampusConfig {
+  std::uint64_t seed = 1;
+  int wired_clients = 120;
+  int wifi_clients = 300;
+  double upstream_gbps = 10.0;          // per direction
+  Duration upstream_delay = Duration::millis(8);
+  std::size_t upstream_queue_bytes = 3'000'000;  // ~2.4ms at 10G
+  double load_scale = 1.0;  // multiplies all session arrival rates
+  bool diurnal = true;      // modulate load by time of day
+  double day_phase_hours = 10.0;  // sim t=0 corresponds to 10:00
+};
+
+/// The address plan + host inventory. All addresses are deterministic
+/// functions of (config, host id), so two topologies built from the same
+/// config are identical.
+class Topology {
+ public:
+  explicit Topology(const CampusConfig& config);
+
+  /// Campus prefix (10.x.0.0/16, x derived from the seed so distinct
+  /// campuses in the reproducibility study get distinct address space).
+  packet::Ipv4Address campus_prefix() const noexcept { return prefix_; }
+  static constexpr int kCampusPrefixLen = 16;
+
+  bool is_campus(packet::Ipv4Address a) const noexcept {
+    return a.in_prefix(prefix_, kCampusPrefixLen);
+  }
+
+  const std::vector<Host>& hosts() const noexcept { return hosts_; }
+  const std::vector<Host>& servers() const noexcept { return servers_; }
+  const Host& web_server() const noexcept { return *web_server_; }
+  const Host& dns_server() const noexcept { return *dns_server_; }
+  const Host& mail_server() const noexcept { return *mail_server_; }
+  const Host& ssh_gateway() const noexcept { return *ssh_gateway_; }
+  const Host& storage_server() const noexcept { return *storage_server_; }
+
+  /// All client hosts (wired + wifi).
+  const std::vector<Host>& clients() const noexcept { return clients_; }
+
+  /// Uniformly random campus client.
+  const Host& random_client(Rng& rng) const;
+
+  /// Deterministic external endpoints for Internet-side services.
+  /// `kind` selects a service family (CDN, video, DNS resolver, ...) and
+  /// `index` one of several instances.
+  static packet::Endpoint external_host(std::uint32_t kind,
+                                        std::uint32_t index,
+                                        std::uint16_t port);
+
+  /// A plausible spoofed/botnet source address (outside the campus).
+  static packet::Ipv4Address random_external_address(Rng& rng);
+
+ private:
+  packet::Ipv4Address prefix_;
+  std::vector<Host> hosts_;
+  std::vector<Host> clients_;
+  std::vector<Host> servers_;
+  const Host* web_server_ = nullptr;
+  const Host* dns_server_ = nullptr;
+  const Host* mail_server_ = nullptr;
+  const Host* ssh_gateway_ = nullptr;
+  const Host* storage_server_ = nullptr;
+};
+
+}  // namespace campuslab::sim

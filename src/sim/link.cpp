@@ -1,0 +1,41 @@
+#include "campuslab/sim/link.h"
+
+#include <cassert>
+
+namespace campuslab::sim {
+
+Link::Link(double rate_bps, Duration propagation, std::size_t queue_bytes)
+    : rate_bps_(rate_bps), propagation_(propagation),
+      queue_bytes_(queue_bytes) {
+  assert(rate_bps > 0.0);
+}
+
+std::optional<Timestamp> Link::transmit(std::size_t frame_bytes,
+                                        Timestamp now) {
+  // The frame currently serializing does not occupy buffer space; admit
+  // a new frame while the waiting backlog is within capacity.
+  const std::size_t backlog = backlog_bytes(now);
+  if (backlog > queue_bytes_) {
+    ++stats_.frames_dropped;
+    stats_.bytes_dropped += frame_bytes;
+    return std::nullopt;
+  }
+  const Timestamp start = busy_until_ > now ? busy_until_ : now;
+  const Timestamp done = start + serialization_time(frame_bytes);
+  busy_until_ = done;
+  ++stats_.frames_forwarded;
+  stats_.bytes_forwarded += frame_bytes;
+  return done + propagation_ + extra_delay_;
+}
+
+std::size_t Link::backlog_bytes(Timestamp now) const noexcept {
+  if (busy_until_ <= now) return 0;
+  const Duration wait = busy_until_ - now;
+  return static_cast<std::size_t>(wait.to_seconds() * rate_bps_ / 8.0);
+}
+
+Duration Link::queuing_delay(Timestamp now) const noexcept {
+  return busy_until_ > now ? busy_until_ - now : Duration{};
+}
+
+}  // namespace campuslab::sim

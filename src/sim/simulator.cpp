@@ -1,0 +1,34 @@
+#include "campuslab/sim/simulator.h"
+
+namespace campuslab::sim {
+
+CampusSimulator::CampusSimulator(const ScenarioConfig& scenario) {
+  network_ = std::make_unique<CampusNetwork>(events_, scenario.campus);
+  traffic_ = std::make_unique<TrafficGenerator>(
+      *network_, scenario.rates, scenario.campus.seed ^ 0x7AFF1C);
+  traffic_->start();
+
+  std::uint64_t salt = 101;
+  for (const auto& cfg : scenario.dns_amplification) {
+    attacks_.push_back(std::make_unique<DnsAmplificationAttack>(cfg));
+    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+  }
+  for (const auto& cfg : scenario.syn_flood) {
+    attacks_.push_back(std::make_unique<SynFloodAttack>(cfg));
+    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+  }
+  for (const auto& cfg : scenario.port_scan) {
+    attacks_.push_back(std::make_unique<PortScanAttack>(cfg));
+    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+  }
+  for (const auto& cfg : scenario.ssh_brute_force) {
+    attacks_.push_back(std::make_unique<SshBruteForceAttack>(cfg));
+    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+  }
+  for (const auto& cfg : scenario.flash_crowds) {
+    attacks_.push_back(std::make_unique<FlashCrowdEvent>(cfg));
+    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+  }
+}
+
+}  // namespace campuslab::sim

@@ -1,0 +1,104 @@
+#include "campuslab/sim/topology.h"
+
+#include <cassert>
+
+namespace campuslab::sim {
+
+using packet::Endpoint;
+using packet::Ipv4Address;
+using packet::MacAddress;
+
+namespace {
+
+Host make_host(std::uint32_t id, HostRole role, Ipv4Address ip) {
+  Host h;
+  h.id = id;
+  h.role = role;
+  h.endpoint = Endpoint{MacAddress::from_id(id), ip, 0};
+  return h;
+}
+
+}  // namespace
+
+Topology::Topology(const CampusConfig& config) {
+  // 10.x.0.0/16 with x in [1, 250] derived from the seed.
+  const auto second_octet =
+      static_cast<std::uint8_t>(1 + (config.seed % 250));
+  prefix_ = Ipv4Address(10, second_octet, 0, 0);
+  const std::uint32_t base = prefix_.value();
+
+  std::uint32_t next_id = 1;
+  // Server DMZ: 10.x.1.0/24.
+  auto add_server = [&](HostRole role, std::uint8_t last) -> std::size_t {
+    servers_.push_back(
+        make_host(next_id++, role, Ipv4Address(base | (1u << 8) | last)));
+    return servers_.size() - 1;
+  };
+  const auto web_idx = add_server(HostRole::kWebServer, 10);
+  const auto dns_idx = add_server(HostRole::kDnsServer, 11);
+  const auto mail_idx = add_server(HostRole::kMailServer, 12);
+  const auto ssh_idx = add_server(HostRole::kSshGateway, 13);
+  const auto sto_idx = add_server(HostRole::kStorageServer, 14);
+
+  // Wired clients: 10.x.16.0/20; WiFi: 10.x.32.0/19.
+  clients_.reserve(static_cast<std::size_t>(config.wired_clients) +
+                   static_cast<std::size_t>(config.wifi_clients));
+  for (int i = 0; i < config.wired_clients; ++i) {
+    clients_.push_back(make_host(
+        next_id++, HostRole::kWiredClient,
+        Ipv4Address(base | (16u << 8) | static_cast<std::uint32_t>(i + 2))));
+  }
+  for (int i = 0; i < config.wifi_clients; ++i) {
+    clients_.push_back(make_host(
+        next_id++, HostRole::kWifiClient,
+        Ipv4Address(base | (32u << 8) | static_cast<std::uint32_t>(i + 2))));
+  }
+
+  hosts_ = servers_;
+  hosts_.insert(hosts_.end(), clients_.begin(), clients_.end());
+
+  web_server_ = &servers_[web_idx];
+  dns_server_ = &servers_[dns_idx];
+  mail_server_ = &servers_[mail_idx];
+  ssh_gateway_ = &servers_[ssh_idx];
+  storage_server_ = &servers_[sto_idx];
+}
+
+const Host& Topology::random_client(Rng& rng) const {
+  assert(!clients_.empty());
+  return clients_[rng.below(clients_.size())];
+}
+
+Endpoint Topology::external_host(std::uint32_t kind, std::uint32_t index,
+                                 std::uint16_t port) {
+  // Deterministic per-(kind,index) public addresses in documented
+  // service ranges; MACs are the upstream router's from the campus view,
+  // but a unique MAC per external host keeps frames distinguishable.
+  static constexpr std::uint32_t kBases[] = {
+      0x97650000,  // 151.101.0.0   CDN / web
+      0xC6260000,  // 198.38.0.0    video streaming
+      0x08080000,  // 8.8.0.0       public DNS resolvers
+      0x11570000,  // 17.87.0.0     mail peers
+      0x2D4F0000,  // 45.79.0.0     generic cloud / ssh peers
+      0x68100000,  // 104.16.0.0    bulk / mirrors
+  };
+  const std::uint32_t family = kind % (sizeof kBases / sizeof kBases[0]);
+  const std::uint32_t ip =
+      kBases[family] | ((index * 2654435761u) & 0xFFFF);
+  return Endpoint{MacAddress::from_id(0x00E00000u | (family << 16) |
+                                      (index & 0xFFFF)),
+                  Ipv4Address(ip), port};
+}
+
+Ipv4Address Topology::random_external_address(Rng& rng) {
+  // Avoid RFC1918 and the campus 10/8 space entirely: pick from a few
+  // public /8s with random host parts.
+  static constexpr std::uint8_t kFirstOctets[] = {23, 45, 66, 89, 101,
+                                                  133, 155, 177, 199, 203};
+  const auto first =
+      kFirstOctets[rng.below(sizeof kFirstOctets / sizeof kFirstOctets[0])];
+  return Ipv4Address((static_cast<std::uint32_t>(first) << 24) |
+                     static_cast<std::uint32_t>(rng.below(1u << 24)));
+}
+
+}  // namespace campuslab::sim

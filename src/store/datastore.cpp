@@ -1,0 +1,174 @@
+#include "campuslab/store/datastore.h"
+
+#include <algorithm>
+
+namespace campuslab::store {
+
+DataStore::DataStore(DataStoreConfig config) : config_(config) {}
+
+DataStore::Segment& DataStore::open_segment() {
+  if (segments_.empty() || segments_.back().sealed) {
+    Segment seg;
+    seg.min_ts = Timestamp::from_nanos(
+        std::numeric_limits<std::int64_t>::max());
+    seg.max_ts = Timestamp::from_nanos(
+        std::numeric_limits<std::int64_t>::min());
+    seg.flows.reserve(config_.segment_flows);
+    segments_.push_back(std::move(seg));
+  }
+  return segments_.back();
+}
+
+void DataStore::index_flow(Segment& seg, const StoredFlow& stored,
+                           std::uint32_t offset) {
+  const auto& f = stored.flow;
+  seg.by_host[f.tuple.src.value()].push_back(offset);
+  if (f.tuple.dst != f.tuple.src)
+    seg.by_host[f.tuple.dst.value()].push_back(offset);
+  seg.by_port[f.tuple.src_port].push_back(offset);
+  if (f.tuple.dst_port != f.tuple.src_port)
+    seg.by_port[f.tuple.dst_port].push_back(offset);
+  seg.by_label[static_cast<std::size_t>(f.majority_label())].push_back(
+      offset);
+}
+
+std::uint64_t DataStore::ingest(const capture::FlowRecord& flow) {
+  auto& seg = open_segment();
+  StoredFlow stored{next_id_++, flow};
+
+  // Data cleaning: a flow whose timestamps are inverted (possible only
+  // through producer bugs) is normalized rather than stored broken.
+  if (stored.flow.last_ts < stored.flow.first_ts)
+    stored.flow.last_ts = stored.flow.first_ts;
+
+  seg.min_ts = std::min(seg.min_ts, stored.flow.first_ts);
+  seg.max_ts = std::max(seg.max_ts, stored.flow.last_ts);
+  const auto offset = static_cast<std::uint32_t>(seg.flows.size());
+  seg.flows.push_back(std::move(stored));
+  index_flow(seg, seg.flows.back(), offset);
+
+  ++total_flows_;
+  ++label_counts_[static_cast<std::size_t>(flow.majority_label())];
+  if (seg.flows.size() >= config_.segment_flows) seg.sealed = true;
+  return seg.flows.back().id;
+}
+
+void DataStore::ingest_log(LogEvent event) {
+  logs_.push_back(std::move(event));
+}
+
+bool DataStore::segment_overlaps(const Segment& seg,
+                                 const FlowQuery& q) const {
+  if (seg.flows.empty()) return false;
+  if (q.from && seg.max_ts < *q.from) return false;
+  if (q.to && seg.min_ts > *q.to) return false;
+  return true;
+}
+
+std::vector<const StoredFlow*> DataStore::query(const FlowQuery& q) const {
+  std::vector<const StoredFlow*> out;
+  for (const auto& seg : segments_) {
+    if (out.size() >= q.limit) break;
+    if (!segment_overlaps(seg, q)) continue;
+
+    // Plan: host index > label index > port index > scan.
+    const std::vector<std::uint32_t>* candidates = nullptr;
+    std::vector<std::uint32_t> merged;
+    if (q.host || q.src || q.dst) {
+      const auto addr = q.host ? *q.host : (q.src ? *q.src : *q.dst);
+      const auto it = seg.by_host.find(addr.value());
+      if (it == seg.by_host.end()) continue;
+      candidates = &it->second;
+    } else if (q.label) {
+      candidates = &seg.by_label[static_cast<std::size_t>(*q.label)];
+    } else if (q.port) {
+      const auto it = seg.by_port.find(*q.port);
+      if (it == seg.by_port.end()) continue;
+      candidates = &it->second;
+    }
+
+    if (candidates) {
+      for (const auto offset : *candidates) {
+        const auto& stored = seg.flows[offset];
+        if (q.matches(stored)) {
+          out.push_back(&stored);
+          if (out.size() >= q.limit) break;
+        }
+      }
+    } else {
+      for (const auto& stored : seg.flows) {
+        if (q.matches(stored)) {
+          out.push_back(&stored);
+          if (out.size() >= q.limit) break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const LogEvent*> DataStore::query_logs(const LogQuery& q) const {
+  std::vector<const LogEvent*> out;
+  for (const auto& ev : logs_) {
+    if (q.matches(ev)) {
+      out.push_back(&ev);
+      if (out.size() >= q.limit) break;
+    }
+  }
+  return out;
+}
+
+void DataStore::for_each(
+    const std::function<void(const StoredFlow&)>& fn) const {
+  for (const auto& seg : segments_)
+    for (const auto& stored : seg.flows) fn(stored);
+}
+
+std::uint64_t DataStore::enforce_retention(Timestamp now) {
+  const Timestamp horizon = now - config_.retention;
+  std::uint64_t evicted = 0;
+  while (!segments_.empty() && segments_.front().sealed &&
+         segments_.front().max_ts < horizon) {
+    for (const auto& stored : segments_.front().flows) {
+      --label_counts_[static_cast<std::size_t>(
+          stored.flow.majority_label())];
+      ++evicted;
+    }
+    total_flows_ -= segments_.front().flows.size();
+    segments_.pop_front();
+  }
+  while (!logs_.empty() && logs_.front().ts < horizon) {
+    logs_.pop_front();
+    // Log eviction is not counted toward flow eviction totals.
+  }
+  evicted_ += evicted;
+  return evicted;
+}
+
+CatalogInfo DataStore::catalog() const {
+  CatalogInfo info;
+  info.total_flows = total_flows_;
+  info.total_log_events = logs_.size();
+  info.segments = segments_.size();
+  info.flows_per_label = label_counts_;
+  info.evicted_by_retention = evicted_;
+  bool first = true;
+  for (const auto& seg : segments_) {
+    for (const auto& stored : seg.flows) {
+      info.total_packets += stored.flow.packets;
+      info.total_bytes += stored.flow.bytes;
+    }
+    if (seg.flows.empty()) continue;
+    if (first) {
+      info.earliest = seg.min_ts;
+      info.latest = seg.max_ts;
+      first = false;
+    } else {
+      info.earliest = std::min(info.earliest, seg.min_ts);
+      info.latest = std::max(info.latest, seg.max_ts);
+    }
+  }
+  return info;
+}
+
+}  // namespace campuslab::store

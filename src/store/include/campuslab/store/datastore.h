@@ -1,0 +1,98 @@
+// DataStore — "the single source of all campus network-related data".
+//
+// Implements §5's data store: flow records and complementary log events
+// are ingested continuously, cleaned (monotonic timestamps enforced),
+// time-partitioned into segments, indexed (per-segment inverted indexes
+// by host address, port, and ground-truth label), and retained for a
+// configurable window. Queries (query.h) are planned against the most
+// selective index. Raw packets are archived separately in pcap segments
+// (packet_archive.h); the store keeps the linking metadata.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campuslab/store/query.h"
+
+namespace campuslab::store {
+
+struct DataStoreConfig {
+  std::size_t segment_flows = 50'000;  // rotate after this many flows
+  Duration retention = Duration::hours(24 * 7);  // paper: "order of a week"
+};
+
+/// The §5 metadata catalog: what the store holds, over what span.
+struct CatalogInfo {
+  std::uint64_t total_flows = 0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_log_events = 0;
+  std::size_t segments = 0;
+  Timestamp earliest;
+  Timestamp latest;
+  std::array<std::uint64_t, packet::kTrafficLabelCount> flows_per_label{};
+  std::uint64_t evicted_by_retention = 0;
+};
+
+class DataStore {
+ public:
+  explicit DataStore(DataStoreConfig config = {});
+
+  /// Ingest one completed flow; returns its stable id. Flows are
+  /// expected in roughly time order (the flow meter's eviction order);
+  /// out-of-order records are accepted and indexed correctly.
+  std::uint64_t ingest(const capture::FlowRecord& flow);
+
+  /// Ingest a complementary event (server log, firewall, IDS, ...).
+  void ingest_log(LogEvent event);
+
+  /// Evaluate a query. Results are in ingest order; `query.limit` caps
+  /// the result count. Pointers are valid until the next retention
+  /// enforcement or destruction.
+  std::vector<const StoredFlow*> query(const FlowQuery& q) const;
+
+  std::vector<const LogEvent*> query_logs(const LogQuery& q) const;
+
+  /// Visit every stored flow in ingest order (dataset export).
+  void for_each(const std::function<void(const StoredFlow&)>& fn) const;
+
+  /// Drop whole segments entirely older than now - retention.
+  /// Returns flows evicted.
+  std::uint64_t enforce_retention(Timestamp now);
+
+  CatalogInfo catalog() const;
+  std::uint64_t size() const noexcept { return total_flows_; }
+
+ private:
+  struct Segment {
+    std::vector<StoredFlow> flows;
+    Timestamp min_ts;
+    Timestamp max_ts;
+    bool sealed = false;
+    // Local inverted indexes: value = offset into `flows`.
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_host;
+    std::unordered_map<std::uint16_t, std::vector<std::uint32_t>> by_port;
+    std::array<std::vector<std::uint32_t>, packet::kTrafficLabelCount>
+        by_label;
+  };
+
+  Segment& open_segment();
+  static void index_flow(Segment& seg, const StoredFlow& stored,
+                         std::uint32_t offset);
+  bool segment_overlaps(const Segment& seg, const FlowQuery& q) const;
+
+  DataStoreConfig config_;
+  std::deque<Segment> segments_;
+  std::deque<LogEvent> logs_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t total_flows_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::array<std::uint64_t, packet::kTrafficLabelCount> label_counts_{};
+};
+
+}  // namespace campuslab::store

@@ -1,0 +1,82 @@
+// PacketArchive — rotating pcap segments for the raw-packet layer of
+// the data store ("all the raw packet-level data", §5).
+//
+// Frames are appended to time-bounded pcap files in a directory; an
+// in-memory index maps each segment to its time span so time-range
+// retrieval opens only the relevant files. Retention deletes whole
+// segment files, which is also how the paper's commercial counterparts
+// bound their storage ("data storage requirements of the order of a
+// week").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campuslab/capture/filter.h"
+#include "campuslab/capture/pcap.h"
+#include "campuslab/util/result.h"
+
+namespace campuslab::store {
+
+struct PacketArchiveConfig {
+  std::string directory;           // must exist
+  Duration segment_span = Duration::minutes(10);
+  Duration retention = Duration::hours(24 * 7);
+};
+
+struct ArchiveSegmentInfo {
+  std::string path;
+  Timestamp first_ts;
+  Timestamp last_ts;
+  std::uint64_t records = 0;
+};
+
+class PacketArchive {
+ public:
+  static Result<PacketArchive> open(PacketArchiveConfig config);
+
+  PacketArchive(PacketArchive&&) = default;
+  PacketArchive& operator=(PacketArchive&&) = default;
+
+  /// Append one frame; rotates to a new segment when the current one's
+  /// span is exceeded.
+  Status write(const packet::Packet& pkt);
+
+  /// Close the current segment (flush to disk).
+  Status seal();
+
+  /// Load every archived frame overlapping [from, to], in time order.
+  Result<std::vector<packet::Packet>> read_range(Timestamp from,
+                                                 Timestamp to);
+
+  /// As read_range, additionally keeping only frames matching a
+  /// BPF-style filter ("udp and src port 53 and dst net 10.1.0.0/16").
+  Result<std::vector<packet::Packet>> read_filtered(
+      Timestamp from, Timestamp to, const capture::FilterExpr& filter);
+
+  /// Delete segment files entirely older than now - retention.
+  /// Returns segments deleted.
+  std::size_t enforce_retention(Timestamp now);
+
+  const std::deque<ArchiveSegmentInfo>& segments() const noexcept {
+    return segments_;
+  }
+  std::uint64_t records_written() const noexcept { return records_; }
+
+ private:
+  explicit PacketArchive(PacketArchiveConfig config)
+      : config_(std::move(config)) {}
+
+  Status rotate(Timestamp first_ts);
+
+  PacketArchiveConfig config_;
+  std::optional<capture::PcapWriter> writer_;
+  std::deque<ArchiveSegmentInfo> segments_;  // includes the open one (last)
+  std::uint64_t records_ = 0;
+  std::uint64_t next_file_id_ = 0;
+};
+
+}  // namespace campuslab::store

@@ -1,0 +1,87 @@
+// FlowQuery — the data store's "fast and flexible search" interface.
+//
+// A query is a conjunction of optional predicates over stored flows.
+// The store picks the most selective available index (host, label,
+// port) and falls back to a time-bounded scan, so queries state *what*
+// they want, never *how* to find it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "campuslab/capture/flow.h"
+
+namespace campuslab::store {
+
+/// A flow record as stored, with its stable id.
+struct StoredFlow {
+  std::uint64_t id = 0;
+  capture::FlowRecord flow;
+};
+
+struct FlowQuery {
+  /// Overlap with [from, to] on the flow's [first_ts, last_ts] span.
+  std::optional<Timestamp> from;
+  std::optional<Timestamp> to;
+
+  std::optional<packet::Ipv4Address> src;   // exact initiator address
+  std::optional<packet::Ipv4Address> dst;   // exact responder address
+  std::optional<packet::Ipv4Address> host;  // either side
+  std::optional<std::uint16_t> port;        // either port
+  std::optional<std::uint8_t> proto;
+  std::optional<packet::TrafficLabel> label;  // majority label
+  std::optional<bool> dns_only;
+  std::optional<sim::Direction> direction;    // initial direction
+  std::uint64_t min_bytes = 0;
+  std::size_t limit = std::numeric_limits<std::size_t>::max();
+
+  /// Full predicate (used after index pre-filtering).
+  bool matches(const StoredFlow& stored) const noexcept;
+
+  // Fluent builders keep call sites readable.
+  FlowQuery& between(Timestamp a, Timestamp b) {
+    from = a;
+    to = b;
+    return *this;
+  }
+  FlowQuery& about_host(packet::Ipv4Address a) {
+    host = a;
+    return *this;
+  }
+  FlowQuery& with_label(packet::TrafficLabel l) {
+    label = l;
+    return *this;
+  }
+  FlowQuery& on_port(std::uint16_t p) {
+    port = p;
+    return *this;
+  }
+  FlowQuery& top(std::size_t n) {
+    limit = n;
+    return *this;
+  }
+};
+
+/// Complementary (non-packet) event, per §5: "server logs, firewall
+/// rules, configuration files, events".
+struct LogEvent {
+  Timestamp ts;
+  std::string source;   // "firewall", "dhcp", "ids", "syslog", ...
+  int severity = 0;     // 0=info .. 3=critical
+  packet::Ipv4Address subject;  // host the event concerns (optional)
+  std::string message;
+};
+
+struct LogQuery {
+  std::optional<Timestamp> from;
+  std::optional<Timestamp> to;
+  std::optional<std::string> source;
+  std::optional<packet::Ipv4Address> subject;
+  int min_severity = 0;
+  std::size_t limit = std::numeric_limits<std::size_t>::max();
+
+  bool matches(const LogEvent& ev) const noexcept;
+};
+
+}  // namespace campuslab::store

@@ -1,0 +1,39 @@
+// Incident timeline — the payoff of §5's "linked" data: one query that
+// merges everything the store knows about a host across sources
+// (flows + complementary log events) into a chronological narrative an
+// operator can read during or after an incident.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campuslab/store/datastore.h"
+
+namespace campuslab::store {
+
+struct TimelineEntry {
+  enum class Kind : std::uint8_t { kFlowStart, kLogEvent };
+
+  Timestamp ts;
+  Kind kind = Kind::kLogEvent;
+  int severity = 0;          // logs carry theirs; flows derive from label
+  std::string source;        // "flow" or the log's source
+  std::string description;
+};
+
+struct TimelineOptions {
+  std::size_t max_entries = 200;
+  /// Skip benign flows below this byte count (keeps chatty hosts
+  /// readable; logs are never filtered).
+  std::uint64_t min_benign_flow_bytes = 0;
+};
+
+/// Everything about `host` in [from, to], chronologically.
+std::vector<TimelineEntry> incident_timeline(
+    const DataStore& store, packet::Ipv4Address host, Timestamp from,
+    Timestamp to, const TimelineOptions& options = {});
+
+/// Human-readable rendering.
+std::string to_string(const std::vector<TimelineEntry>& timeline);
+
+}  // namespace campuslab::store

@@ -1,0 +1,31 @@
+#include "campuslab/store/query.h"
+
+namespace campuslab::store {
+
+bool FlowQuery::matches(const StoredFlow& stored) const noexcept {
+  const auto& f = stored.flow;
+  if (from && f.last_ts < *from) return false;
+  if (to && f.first_ts > *to) return false;
+  if (src && f.tuple.src != *src) return false;
+  if (dst && f.tuple.dst != *dst) return false;
+  if (host && f.tuple.src != *host && f.tuple.dst != *host) return false;
+  if (port && f.tuple.src_port != *port && f.tuple.dst_port != *port)
+    return false;
+  if (proto && f.tuple.proto != *proto) return false;
+  if (label && f.majority_label() != *label) return false;
+  if (dns_only && f.saw_dns != *dns_only) return false;
+  if (direction && f.initial_direction != *direction) return false;
+  if (f.bytes < min_bytes) return false;
+  return true;
+}
+
+bool LogQuery::matches(const LogEvent& ev) const noexcept {
+  if (from && ev.ts < *from) return false;
+  if (to && ev.ts > *to) return false;
+  if (source && ev.source != *source) return false;
+  if (subject && ev.subject != *subject) return false;
+  if (ev.severity < min_severity) return false;
+  return true;
+}
+
+}  // namespace campuslab::store

@@ -1,0 +1,66 @@
+#include "campuslab/store/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace campuslab::store {
+
+std::vector<TimelineEntry> incident_timeline(
+    const DataStore& store, packet::Ipv4Address host, Timestamp from,
+    Timestamp to, const TimelineOptions& options) {
+  std::vector<TimelineEntry> timeline;
+
+  FlowQuery flows;
+  flows.about_host(host).between(from, to);
+  for (const auto* stored : store.query(flows)) {
+    const auto& f = stored->flow;
+    const auto label = f.majority_label();
+    if (label == packet::TrafficLabel::kBenign &&
+        f.bytes < options.min_benign_flow_bytes)
+      continue;
+    TimelineEntry entry;
+    entry.ts = f.first_ts;
+    entry.kind = TimelineEntry::Kind::kFlowStart;
+    entry.severity = is_attack(label) ? 2 : 0;
+    entry.source = "flow";
+    std::ostringstream desc;
+    desc << f.tuple.to_string() << "  " << f.packets << " pkts, "
+         << f.bytes << " B over " << f.duration().to_seconds() << "s";
+    if (is_attack(label)) desc << "  [" << to_string(label) << "]";
+    entry.description = desc.str();
+    timeline.push_back(std::move(entry));
+  }
+
+  LogQuery logs;
+  logs.subject = host;
+  logs.from = from;
+  logs.to = to;
+  for (const auto* ev : store.query_logs(logs)) {
+    timeline.push_back(TimelineEntry{ev->ts,
+                                     TimelineEntry::Kind::kLogEvent,
+                                     ev->severity, ev->source,
+                                     ev->message});
+  }
+
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const TimelineEntry& a, const TimelineEntry& b) {
+                     return a.ts < b.ts;
+                   });
+  if (timeline.size() > options.max_entries)
+    timeline.resize(options.max_entries);
+  return timeline;
+}
+
+std::string to_string(const std::vector<TimelineEntry>& timeline) {
+  std::ostringstream out;
+  for (const auto& entry : timeline) {
+    out << '[' << entry.ts.to_seconds() << "s] "
+        << (entry.kind == TimelineEntry::Kind::kFlowStart ? "FLOW"
+                                                          : "LOG ")
+        << " sev=" << entry.severity << " (" << entry.source << ") "
+        << entry.description << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace campuslab::store

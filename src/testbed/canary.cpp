@@ -1,0 +1,42 @@
+#include "campuslab/testbed/canary.h"
+
+namespace campuslab::testbed {
+
+Result<std::unique_ptr<CanaryDeployment>> CanaryDeployment::create(
+    const control::DeploymentPackage& package) {
+  auto sw = package.instantiate();
+  if (!sw.ok()) return sw.error();
+  return std::unique_ptr<CanaryDeployment>(
+      new CanaryDeployment(package.task, std::move(sw).value()));
+}
+
+void CanaryDeployment::attach(Testbed& testbed) {
+  testbed.add_observer([this](const capture::TaggedPacket& tagged) {
+    observe(tagged.pkt, tagged.dir);
+  });
+}
+
+void CanaryDeployment::observe(const packet::Packet& pkt,
+                               sim::Direction dir) {
+  if (dir != sim::Direction::kInbound) return;
+  ++stats_.observed;
+  const auto verdict = switch_->process(pkt, dir);
+  const bool would_drop = verdict.cls == 1 &&
+                          verdict.confidence >= task_.confidence_threshold;
+  const bool attack = packet::is_attack(pkt.label);
+  if (would_drop) {
+    (attack ? stats_.would_drop_attack : stats_.would_drop_benign)++;
+  } else {
+    (attack ? stats_.passed_attack : stats_.passed_benign)++;
+  }
+}
+
+bool CanaryDeployment::ready_to_promote(
+    double min_precision, double min_block_rate,
+    std::uint64_t min_observed) const noexcept {
+  return stats_.observed >= min_observed &&
+         stats_.would_drop_precision() >= min_precision &&
+         stats_.would_block_rate() >= min_block_rate;
+}
+
+}  // namespace campuslab::testbed

@@ -1,0 +1,84 @@
+#include "campuslab/testbed/continual.h"
+
+namespace campuslab::testbed {
+
+Status ContinualLoop::start() {
+  const auto initial = testbed_->harvest_dataset();
+  control::DevelopmentLoop dev(config_.development);
+  auto package = dev.run(initial);
+  if (!package.ok()) return package.error();
+  const double acc = package.value().balanced_accuracy_on(initial);
+  if (auto s = install(std::move(package).value(), "initial", acc, 0.0);
+      !s.ok())
+    return s;
+
+  testbed_->network().events().schedule_in(config_.retrain_interval,
+                                           [this] { retrain_tick(); });
+  return Status::success();
+}
+
+Status ContinualLoop::install(control::DeploymentPackage package,
+                              const char* note, double candidate_acc,
+                              double incumbent_acc) {
+  auto loop = control::FastLoop::deploy(package);
+  if (!loop.ok()) return loop.error();
+  incumbent_ = std::move(package);
+  loop_ = std::move(loop).value();
+  loop_->install(testbed_->network());
+  history_.push_back(ModelVersion{next_version_++,
+                                  testbed_->network().events().now(),
+                                  candidate_acc, incumbent_acc, true,
+                                  note});
+  return Status::success();
+}
+
+void ContinualLoop::retrain_tick() {
+  // Always schedule the next tick first: one bad window must not end
+  // the loop.
+  testbed_->network().events().schedule_in(config_.retrain_interval,
+                                           [this] { retrain_tick(); });
+
+  const auto window = testbed_->harvest_dataset();
+  const auto now = testbed_->network().events().now();
+  auto skip = [&](std::string why) {
+    history_.push_back(ModelVersion{next_version_++, now, 0.0, 0.0, false,
+                                    "skipped: " + std::move(why)});
+  };
+  if (window.n_rows() < config_.min_window_rows) {
+    skip("window too small (" + std::to_string(window.n_rows()) +
+         " rows)");
+    return;
+  }
+  const auto counts = window.class_counts();
+  if (counts[0] == 0 || counts[1] == 0) {
+    skip("single-class window");
+    return;
+  }
+
+  control::DevelopmentLoop dev(config_.development);
+  auto candidate = dev.run(window);
+  if (!candidate.ok()) {
+    skip(candidate.error().message);
+    return;
+  }
+  const double candidate_acc =
+      candidate.value().balanced_accuracy_on(window);
+  const double incumbent_acc = incumbent_->balanced_accuracy_on(window);
+  if (candidate_acc >= incumbent_acc + config_.promote_margin) {
+    (void)install(std::move(candidate).value(), "promoted", candidate_acc,
+                  incumbent_acc);
+  } else {
+    history_.push_back(ModelVersion{next_version_++, now, candidate_acc,
+                                    incumbent_acc, false,
+                                    "kept incumbent"});
+  }
+}
+
+int ContinualLoop::promotions() const noexcept {
+  int count = 0;
+  for (const auto& v : history_)
+    if (v.promoted) ++count;
+  return count;
+}
+
+}  // namespace campuslab::testbed

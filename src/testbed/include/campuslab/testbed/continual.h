@@ -1,0 +1,87 @@
+// ContinualLoop — the development loop run *continually* on the live
+// campus, after the Puffer "learning-and-deployment platform" the
+// paper's related-work section builds on (§6, refs [6, 28] "continual
+// learning improves Internet video streaming").
+//
+// On the simulation clock, every retrain_interval the loop:
+//   1. harvests the window's labelled packet dataset from the testbed,
+//   2. re-runs the development loop on it (skipping windows that lack
+//      one of the classes — quiet periods train nothing),
+//   3. scores the incumbent package on the fresh window,
+//   4. promotes the candidate only if it beats the incumbent by
+//      promote_margin, hot-swapping the installed fast loop,
+//   5. records a ModelVersion entry either way.
+//
+// The payoff is drift resistance: when the attack profile changes, a
+// static deployment decays, while the continual loop recovers within
+// one window (the T-DRIFT experiment).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "campuslab/control/development_loop.h"
+#include "campuslab/control/fast_loop.h"
+#include "campuslab/testbed/testbed.h"
+
+namespace campuslab::testbed {
+
+struct ContinualConfig {
+  control::DevelopmentConfig development;
+  Duration retrain_interval = Duration::seconds(30);
+  /// Candidate must beat the incumbent on the fresh window by at least
+  /// this much to be promoted.
+  double promote_margin = 0.01;
+  /// Windows with fewer labelled rows than this are skipped outright.
+  std::size_t min_window_rows = 500;
+};
+
+struct ModelVersion {
+  int version = 0;
+  Timestamp trained_at;
+  double candidate_window_accuracy = 0.0;
+  double incumbent_window_accuracy = 0.0;
+  bool promoted = false;
+  std::string note;  // "initial", "promoted", "kept incumbent", "skipped: ..."
+};
+
+class ContinualLoop {
+ public:
+  /// The testbed's collector must be configured binary for the task in
+  /// `config.development.task`. The loop must outlive the testbed run.
+  ContinualLoop(ContinualConfig config, Testbed& testbed)
+      : config_(std::move(config)), testbed_(&testbed) {}
+
+  /// Train the initial model from whatever the collector holds now,
+  /// install it, and schedule periodic retraining. Call after a
+  /// data-gathering prefix has been simulated.
+  Status start();
+
+  const std::vector<ModelVersion>& history() const noexcept {
+    return history_;
+  }
+  /// Currently installed model's package; nullopt before start().
+  const std::optional<control::DeploymentPackage>& incumbent()
+      const noexcept {
+    return incumbent_;
+  }
+  const control::FastLoop* active_loop() const noexcept {
+    return loop_.get();
+  }
+  int promotions() const noexcept;
+
+ private:
+  void retrain_tick();
+  Status install(control::DeploymentPackage package, const char* note,
+                 double candidate_acc, double incumbent_acc);
+
+  ContinualConfig config_;
+  Testbed* testbed_;
+  std::optional<control::DeploymentPackage> incumbent_;
+  std::unique_ptr<control::FastLoop> loop_;
+  std::vector<ModelVersion> history_;
+  int next_version_ = 1;
+};
+
+}  // namespace campuslab::testbed

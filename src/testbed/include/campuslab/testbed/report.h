@@ -1,0 +1,41 @@
+// RoadTestReport — the end-of-road-test artifact an operator and a
+// researcher review together: what the model claimed (trust report),
+// what the canary predicted, what enforcement actually did to attack
+// and benign traffic, and whether the safety net had to act.
+#pragma once
+
+#include <string>
+
+#include "campuslab/control/fast_loop.h"
+#include "campuslab/testbed/canary.h"
+#include "campuslab/testbed/safety.h"
+
+namespace campuslab::testbed {
+
+struct RoadTestReport {
+  std::string task_name;
+  // From the development loop.
+  double student_holdout_accuracy = 0.0;
+  double holdout_fidelity = 0.0;
+  std::string resources;
+  // From the canary phase.
+  CanaryStats canary;
+  // From enforcement.
+  control::MitigationStats enforcement;
+  double mean_inspect_latency_ns = 0.0;
+  // From the safety monitor.
+  bool rolled_back = false;
+  // Network-level outcome: benign frames lost to congestion on the
+  // access link during enforcement (the collateral the filter should
+  // have removed).
+  std::uint64_t benign_lost_to_congestion = 0;
+
+  std::string to_string() const;
+};
+
+RoadTestReport make_road_test_report(
+    const control::DeploymentPackage& package,
+    const CanaryDeployment& canary, const control::FastLoop& loop,
+    const SafetyMonitor& safety, const sim::CampusNetwork& network);
+
+}  // namespace campuslab::testbed

@@ -1,0 +1,59 @@
+// SafetyMonitor — the enforcement-time guardrail (§4 "correctness,
+// robustness, and safety").
+//
+// Wraps a deployed FastLoop with a benign-collateral budget: if, over
+// a sliding window, the filter drops more than the budgeted fraction
+// of benign traffic, the monitor disarms the filter (auto-rollback)
+// and records when and why. Ground-truth labels are available because
+// road-test attacks are injected by the researcher — exactly the
+// controlled setting the paper's testbed role provides.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "campuslab/control/fast_loop.h"
+
+namespace campuslab::testbed {
+
+struct SafetyConfig {
+  /// Maximum tolerated fraction of benign packets dropped per window.
+  double max_benign_drop_fraction = 0.02;
+  Duration window = Duration::seconds(2);
+  /// Windows with fewer benign packets than this are not judged.
+  std::uint64_t min_window_benign = 100;
+};
+
+class SafetyMonitor {
+ public:
+  SafetyMonitor(control::FastLoop& loop, SafetyConfig config)
+      : loop_(&loop), config_(config) {}
+
+  /// Install the monitored filter on the network. Replaces any
+  /// existing ingress filter. The monitor and loop must outlive the
+  /// network's use of the filter.
+  void install(sim::CampusNetwork& network);
+
+  /// The filter decision with monitoring applied. Returns false (pass
+  /// everything) after rollback.
+  bool inspect(const packet::Packet& pkt);
+
+  bool rolled_back() const noexcept { return rollback_at_.has_value(); }
+  std::optional<Timestamp> rollback_time() const noexcept {
+    return rollback_at_;
+  }
+  std::uint64_t windows_judged() const noexcept { return windows_judged_; }
+
+ private:
+  void finish_window(Timestamp now);
+
+  control::FastLoop* loop_;
+  SafetyConfig config_;
+  Timestamp window_start_{};
+  std::uint64_t window_benign_ = 0;
+  std::uint64_t window_benign_dropped_ = 0;
+  std::uint64_t windows_judged_ = 0;
+  std::optional<Timestamp> rollback_at_;
+};
+
+}  // namespace campuslab::testbed

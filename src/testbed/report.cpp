@@ -1,0 +1,50 @@
+#include "campuslab/testbed/report.h"
+
+#include <sstream>
+
+namespace campuslab::testbed {
+
+RoadTestReport make_road_test_report(
+    const control::DeploymentPackage& package,
+    const CanaryDeployment& canary, const control::FastLoop& loop,
+    const SafetyMonitor& safety, const sim::CampusNetwork& network) {
+  RoadTestReport report;
+  report.task_name = package.task.name;
+  report.student_holdout_accuracy = package.student_holdout_accuracy;
+  report.holdout_fidelity = package.holdout_fidelity;
+  report.resources = package.resources.to_string();
+  report.canary = canary.stats();
+  report.enforcement = loop.stats();
+  report.mean_inspect_latency_ns = loop.latency_ns().mean();
+  report.rolled_back = safety.rolled_back();
+  report.benign_lost_to_congestion =
+      network.accounting().lost_access.benign_frames();
+  return report;
+}
+
+std::string RoadTestReport::to_string() const {
+  std::ostringstream out;
+  out << "=== Road-test report: " << task_name << " ===\n"
+      << "deployable model : holdout accuracy "
+      << student_holdout_accuracy << ", fidelity " << holdout_fidelity
+      << "\nswitch resources : " << resources << "\n"
+      << "canary (mirror)  : precision " << canary.would_drop_precision()
+      << ", block rate " << canary.would_block_rate()
+      << ", benign loss " << canary.would_benign_loss() << " over "
+      << canary.observed << " packets\n"
+      << "enforcement      : dropped " << enforcement.dropped << " ("
+      << enforcement.attack_dropped << " attack / "
+      << enforcement.benign_dropped << " benign), precision "
+      << enforcement.drop_precision() << ", attack block rate "
+      << enforcement.attack_block_rate() << ", benign loss "
+      << enforcement.benign_loss_rate() << "\n"
+      << "fast-loop latency: " << mean_inspect_latency_ns
+      << " ns/packet (mean)\n"
+      << "safety monitor   : "
+      << (rolled_back ? "ROLLED BACK" : "held") << "\n"
+      << "benign frames still lost to access-link congestion: "
+      << benign_lost_to_congestion << "\n";
+  return out.str();
+}
+
+}  // namespace campuslab::testbed

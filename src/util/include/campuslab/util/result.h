@@ -1,0 +1,87 @@
+// Result<T> — a lightweight expected-style return type for recoverable
+// errors. CampusLab reserves exceptions for programming errors; everything
+// a caller is expected to handle (truncated packet, full ring, unknown
+// query field, budget overflow) travels through Result.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace campuslab {
+
+/// Error payload carried by a failed Result. `code` is a short stable
+/// machine-readable tag ("truncated", "full", "not_found", ...); `message`
+/// is human-readable detail.
+struct Error {
+  std::string code;
+  std::string message;
+
+  static Error make(std::string code, std::string message) {
+    return Error{std::move(code), std::move(message)};
+  }
+};
+
+/// Minimal expected<T, Error>. Intentionally small: value_or, map-free,
+/// no monadic chains — call sites stay explicit.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status success() { return Status{}; }
+
+  bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+}  // namespace campuslab

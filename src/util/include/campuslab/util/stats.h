@@ -1,0 +1,94 @@
+// Streaming statistics used across the monitoring and feature pipelines:
+// Welford running moments, fixed-bucket histograms with quantile
+// estimation, and Shannon entropy over categorical counters (the
+// workhorse of DDoS feature engineering).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace campuslab {
+
+/// Numerically stable running mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi) with overflow/underflow
+/// buckets; supports approximate quantiles by bucket interpolation.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return total_; }
+
+  /// Approximate q-quantile, q in [0,1]. Returns lo/hi bounds for
+  /// mass in the underflow/overflow buckets. 0 when empty.
+  double quantile(double q) const noexcept;
+
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return counts_;
+  }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Categorical counter with Shannon entropy — e.g. the entropy of
+/// source addresses in a window collapses under an amplification attack
+/// (few reflectors) and explodes under a spoofed SYN flood.
+class EntropyCounter {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1);
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t distinct() const noexcept { return counts_.size(); }
+
+  /// Shannon entropy in bits; 0 when empty or single-valued.
+  double entropy() const noexcept;
+
+  /// Entropy normalized by log2(distinct) into [0,1]; 1 when uniform.
+  double normalized_entropy() const noexcept;
+
+  void reset() noexcept {
+    counts_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace campuslab

@@ -1,0 +1,114 @@
+// Simulation time types.
+//
+// CampusLab runs on virtual time: a Timestamp is nanoseconds since the
+// simulation epoch, a Duration is a signed nanosecond interval. Strong
+// types (not raw integers) keep seconds/milliseconds bugs out of the
+// event queue and the flow-timeout logic.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace campuslab {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanos(std::int64_t n) noexcept {
+    return Duration(n);
+  }
+  static constexpr Duration micros(std::int64_t n) noexcept {
+    return Duration(n * 1'000);
+  }
+  static constexpr Duration millis(std::int64_t n) noexcept {
+    return Duration(n * 1'000'000);
+  }
+  static constexpr Duration seconds(std::int64_t n) noexcept {
+    return Duration(n * 1'000'000'000);
+  }
+  static constexpr Duration minutes(std::int64_t n) noexcept {
+    return seconds(n * 60);
+  }
+  static constexpr Duration hours(std::int64_t n) noexcept {
+    return seconds(n * 3600);
+  }
+  /// Fractional seconds (traffic model rates are naturally in seconds).
+  static constexpr Duration from_seconds(double s) noexcept {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  constexpr std::int64_t count_nanos() const noexcept { return ns_; }
+  constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  constexpr double to_micros() const noexcept {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const noexcept {
+    return Duration(ns_ + other.ns_);
+  }
+  constexpr Duration operator-(Duration other) const noexcept {
+    return Duration(ns_ - other.ns_);
+  }
+  constexpr Duration operator*(std::int64_t k) const noexcept {
+    return Duration(ns_ * k);
+  }
+  constexpr Duration operator/(std::int64_t k) const noexcept {
+    return Duration(ns_ / k);
+  }
+  constexpr Duration& operator+=(Duration other) noexcept {
+    ns_ += other.ns_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+
+  static constexpr Timestamp epoch() noexcept { return Timestamp(); }
+  static constexpr Timestamp from_nanos(std::int64_t ns) noexcept {
+    return Timestamp(ns);
+  }
+  static constexpr Timestamp from_seconds(double s) noexcept {
+    return Timestamp(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  constexpr std::int64_t nanos() const noexcept { return ns_; }
+  constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  constexpr Timestamp operator+(Duration d) const noexcept {
+    return Timestamp(ns_ + d.count_nanos());
+  }
+  constexpr Timestamp operator-(Duration d) const noexcept {
+    return Timestamp(ns_ - d.count_nanos());
+  }
+  constexpr Duration operator-(Timestamp other) const noexcept {
+    return Duration::nanos(ns_ - other.ns_);
+  }
+  constexpr Timestamp& operator+=(Duration d) noexcept {
+    ns_ += d.count_nanos();
+    return *this;
+  }
+
+ private:
+  explicit constexpr Timestamp(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace campuslab

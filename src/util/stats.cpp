@@ -1,0 +1,109 @@
+#include "campuslab/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace campuslab {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ = n;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = underflow_;
+  if (target < cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (target < cum + counts_[i]) {
+      // Interpolate within the bucket.
+      const double frac =
+          static_cast<double>(target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum += counts_[i];
+  }
+  return hi_;
+}
+
+void EntropyCounter::add(std::uint64_t key, std::uint64_t weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+double EntropyCounter::entropy() const noexcept {
+  if (total_ == 0 || counts_.size() <= 1) return 0.0;
+  double h = 0.0;
+  const double total = static_cast<double>(total_);
+  for (const auto& [key, count] : counts_) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double EntropyCounter::normalized_entropy() const noexcept {
+  if (counts_.size() <= 1) return 0.0;
+  return entropy() / std::log2(static_cast<double>(counts_.size()));
+}
+
+}  // namespace campuslab

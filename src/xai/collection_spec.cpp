@@ -1,0 +1,59 @@
+#include "campuslab/xai/collection_spec.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace campuslab::xai {
+
+CollectionSpec derive_collection_spec(
+    const ml::DecisionTree& model,
+    const std::vector<bool>& register_mask) {
+  std::map<int, std::size_t> uses;
+  for (const auto& node : model.nodes()) {
+    if (!node.is_leaf()) ++uses[node.feature];
+  }
+
+  CollectionSpec spec;
+  spec.features_total = model.feature_names().size();
+  for (const auto& [feature, count] : uses) {
+    CollectionItem item;
+    item.feature = feature;
+    const auto f = static_cast<std::size_t>(feature);
+    item.name = f < model.feature_names().size()
+                    ? model.feature_names()[f]
+                    : "f" + std::to_string(feature);
+    item.needs_register_state =
+        f < register_mask.size() && register_mask[f];
+    item.uses = count;
+    spec.items.push_back(std::move(item));
+  }
+  std::sort(spec.items.begin(), spec.items.end(),
+            [](const CollectionItem& a, const CollectionItem& b) {
+              return a.uses > b.uses;
+            });
+  spec.features_needed = spec.items.size();
+  for (const auto& item : spec.items) {
+    spec.bits_per_packet += item.bits;
+    if (item.needs_register_state) ++spec.register_arrays;
+  }
+  return spec;
+}
+
+std::string CollectionSpec::to_string() const {
+  std::ostringstream out;
+  out << "=== Minimal collection spec ===\n"
+      << "collect " << features_needed << " of " << features_total
+      << " features (" << bits_per_packet << " bits/packet, "
+      << register_arrays << " register arrays)\n";
+  for (const auto& item : items) {
+    out << "  " << item.name << "  ["
+        << (item.needs_register_state ? "stateful register"
+                                      : "header field")
+        << ", " << item.bits << "b, used by " << item.uses
+        << " decision nodes]\n";
+  }
+  return out.str();
+}
+
+}  // namespace campuslab::xai

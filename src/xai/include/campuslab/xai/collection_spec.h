@@ -1,0 +1,48 @@
+// CollectionSpec — §5's industry-collaboration payoff: "a campus
+// network-based study may identify precisely-defined problem-specific
+// small subsets of data that are amenable for continuous collection
+// even in a large production network where a more full-fledged data
+// collection would be infeasible."
+//
+// Given a deployable model, derive exactly what a large network would
+// need to collect to run it: which features, whether each is a plain
+// header field or needs switch register state, and the per-packet
+// telemetry cost — the handoff document from the campus study to the
+// carrier deployment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campuslab/ml/tree.h"
+
+namespace campuslab::xai {
+
+struct CollectionItem {
+  int feature = 0;
+  std::string name;
+  bool needs_register_state = false;
+  /// Bits of per-packet metadata this feature occupies on the wire /
+  /// in an export record (quantized width).
+  int bits = 16;
+  /// How many decision nodes consult it (a proxy for importance).
+  std::size_t uses = 0;
+};
+
+struct CollectionSpec {
+  std::vector<CollectionItem> items;  // sorted by uses, descending
+  std::size_t features_total = 0;     // in the model's feature space
+  std::size_t features_needed = 0;    // actually consulted
+  int bits_per_packet = 0;            // sum over needed features
+  int register_arrays = 0;
+
+  std::string to_string() const;
+};
+
+/// Derive the spec from a fitted tree. `register_mask[f]` marks
+/// features requiring stateful collection (may be empty = none).
+CollectionSpec derive_collection_spec(
+    const ml::DecisionTree& model,
+    const std::vector<bool>& register_mask = {});
+
+}  // namespace campuslab::xai

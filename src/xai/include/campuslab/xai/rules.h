@@ -1,0 +1,76 @@
+// RuleList — a fitted tree rendered as an ordered list of
+// operator-readable rules ("if src_port_is_dns > 0.5 and
+// dst_inbound_bps > 2.1e8 then dns_amplification, confidence 0.98").
+//
+// Rules from a tree are mutually exclusive and exhaustive, so the list
+// is also an executable model: predict() finds the matching rule. The
+// dataplane compiler consumes this same structure — each rule becomes
+// one ternary table entry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campuslab/ml/tree.h"
+
+namespace campuslab::xai {
+
+/// One conjunct: x[feature] <= threshold (kLe) or > threshold (kGt).
+struct RuleCondition {
+  enum class Op : std::uint8_t { kLe, kGt };
+  int feature = 0;
+  Op op = Op::kLe;
+  double threshold = 0.0;
+
+  bool matches(std::span<const double> x) const noexcept {
+    const double v = x[static_cast<std::size_t>(feature)];
+    return op == Op::kLe ? v <= threshold : v > threshold;
+  }
+};
+
+struct Rule {
+  std::vector<RuleCondition> conditions;  // conjunction
+  int predicted_class = 0;
+  double confidence = 0.0;  // leaf class probability
+  std::size_t support = 0;  // training samples at the leaf
+
+  bool matches(std::span<const double> x) const noexcept {
+    for (const auto& c : conditions)
+      if (!c.matches(x)) return false;
+    return true;
+  }
+};
+
+class RuleList {
+ public:
+  /// Convert a fitted tree. Per-path conditions on the same feature are
+  /// merged to their tightest bounds; rules are ordered by support
+  /// (most-traffic rules first — what an operator reads first).
+  static RuleList from_tree(const ml::DecisionTree& tree);
+
+  /// First matching rule's class. Precondition: built from a tree (the
+  /// rule set is then exhaustive).
+  int predict(std::span<const double> x) const;
+
+  /// Index of the matching rule, -1 if none (never for tree rules).
+  int matching_rule(std::span<const double> x) const;
+
+  const std::vector<Rule>& rules() const noexcept { return rules_; }
+  std::size_t total_conditions() const noexcept;
+
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+  const std::vector<std::string>& class_names() const noexcept {
+    return class_names_;
+  }
+
+  std::string to_string(std::size_t max_rules = SIZE_MAX) const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace campuslab::xai

@@ -1,0 +1,119 @@
+#include "campuslab/xai/rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace campuslab::xai {
+
+RuleList RuleList::from_tree(const ml::DecisionTree& tree) {
+  RuleList list;
+  list.feature_names_ = tree.feature_names();
+  list.class_names_ = tree.class_names();
+
+  // DFS carrying per-feature tightest bounds: (lower > L) and (upper <= U).
+  struct Frame {
+    int node;
+    std::map<int, double> upper;  // feature -> tightest <= bound
+    std::map<int, double> lower;  // feature -> tightest >  bound
+  };
+  const auto& nodes = tree.nodes();
+  if (nodes.empty()) return list;
+  std::vector<Frame> stack{{0, {}, {}}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const auto& node = nodes[static_cast<std::size_t>(frame.node)];
+    if (node.is_leaf()) {
+      Rule rule;
+      for (const auto& [f, thr] : frame.upper)
+        rule.conditions.push_back(
+            RuleCondition{f, RuleCondition::Op::kLe, thr});
+      for (const auto& [f, thr] : frame.lower)
+        rule.conditions.push_back(
+            RuleCondition{f, RuleCondition::Op::kGt, thr});
+      const auto best = static_cast<std::size_t>(
+          std::max_element(node.class_probs.begin(),
+                           node.class_probs.end()) -
+          node.class_probs.begin());
+      rule.predicted_class = static_cast<int>(best);
+      rule.confidence = node.class_probs[best];
+      rule.support = node.samples;
+      list.rules_.push_back(std::move(rule));
+      continue;
+    }
+    // Left branch: x[f] <= thr tightens the upper bound.
+    Frame left = frame;
+    left.node = node.left;
+    const auto up = left.upper.find(node.feature);
+    if (up == left.upper.end() || node.threshold < up->second)
+      left.upper[node.feature] = node.threshold;
+    // Right branch: x[f] > thr tightens the lower bound.
+    Frame right = std::move(frame);
+    right.node = node.right;
+    const auto lo = right.lower.find(node.feature);
+    if (lo == right.lower.end() || node.threshold > lo->second)
+      right.lower[node.feature] = node.threshold;
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+
+  std::stable_sort(list.rules_.begin(), list.rules_.end(),
+                   [](const Rule& a, const Rule& b) {
+                     return a.support > b.support;
+                   });
+  return list;
+}
+
+int RuleList::matching_rule(std::span<const double> x) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i)
+    if (rules_[i].matches(x)) return static_cast<int>(i);
+  return -1;
+}
+
+int RuleList::predict(std::span<const double> x) const {
+  const int idx = matching_rule(x);
+  return idx < 0 ? 0 : rules_[static_cast<std::size_t>(idx)].predicted_class;
+}
+
+std::size_t RuleList::total_conditions() const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : rules_) total += r.conditions.size();
+  return total;
+}
+
+std::string RuleList::to_string(std::size_t max_rules) const {
+  std::ostringstream out;
+  const auto fname = [&](int f) {
+    return static_cast<std::size_t>(f) < feature_names_.size()
+               ? feature_names_[static_cast<std::size_t>(f)]
+               : "f" + std::to_string(f);
+  };
+  const auto cname = [&](int c) {
+    return static_cast<std::size_t>(c) < class_names_.size()
+               ? class_names_[static_cast<std::size_t>(c)]
+               : "class" + std::to_string(c);
+  };
+  std::size_t shown = 0;
+  for (const auto& rule : rules_) {
+    if (shown++ >= max_rules) {
+      out << "... (" << rules_.size() - max_rules << " more rules)\n";
+      break;
+    }
+    out << "if ";
+    if (rule.conditions.empty()) out << "true";
+    for (std::size_t c = 0; c < rule.conditions.size(); ++c) {
+      if (c > 0) out << " and ";
+      const auto& cond = rule.conditions[c];
+      out << fname(cond.feature)
+          << (cond.op == RuleCondition::Op::kLe ? " <= " : " > ")
+          << cond.threshold;
+    }
+    out << " then " << cname(rule.predicted_class) << "  [confidence "
+        << rule.confidence << ", support " << rule.support << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace campuslab::xai

@@ -1,0 +1,502 @@
+// Tests for campuslab::ml — dataset mechanics, CART behaviour (XOR,
+// purity, depth caps, determinism, serialization), random forest,
+// gradient boosting, logistic regression, and hand-computed metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "campuslab/ml/boosting.h"
+#include "campuslab/ml/forest.h"
+#include "campuslab/ml/linear.h"
+#include "campuslab/ml/metrics.h"
+#include "campuslab/ml/tree.h"
+
+namespace campuslab::ml {
+namespace {
+
+Dataset two_blob_dataset(std::size_t n_per_class, double separation,
+                         std::uint64_t seed) {
+  Dataset data({"x0", "x1"}, {"neg", "pos"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    const double a[2] = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    data.add(a, 0);
+    const double b[2] = {rng.normal(separation, 1.0),
+                         rng.normal(separation, 1.0)};
+    data.add(b, 1);
+  }
+  return data;
+}
+
+Dataset xor_dataset(std::size_t n, std::uint64_t seed) {
+  Dataset data({"x0", "x1"}, {"zero", "one"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1, 1);
+    const double x1 = rng.uniform(-1, 1);
+    const double row[2] = {x0, x1};
+    data.add(row, (x0 > 0) != (x1 > 0) ? 1 : 0);
+  }
+  return data;
+}
+
+// --------------------------------------------------------------- Dataset
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d({"a", "b"}, {"c0", "c1", "c2"});
+  const double r0[2] = {1.0, 2.0};
+  const double r1[2] = {3.0, 4.0};
+  d.add(r0, 0);
+  d.add(r1, 2);
+  EXPECT_EQ(d.n_rows(), 2u);
+  EXPECT_EQ(d.n_features(), 2u);
+  EXPECT_EQ(d.n_classes(), 3);
+  EXPECT_EQ(d.row(1)[0], 3.0);
+  EXPECT_EQ(d.label(1), 2);
+  EXPECT_EQ(d.class_counts(), (std::vector<std::size_t>{1, 0, 1}));
+}
+
+TEST(Dataset, StratifiedSplitPreservesClassBalance) {
+  auto data = two_blob_dataset(500, 3.0, 1);
+  Rng rng(2);
+  const auto [train, test] = data.stratified_split(0.3, rng);
+  EXPECT_EQ(train.n_rows() + test.n_rows(), data.n_rows());
+  const auto train_counts = train.class_counts();
+  const auto test_counts = test.class_counts();
+  EXPECT_EQ(train_counts[0], train_counts[1]);
+  EXPECT_EQ(test_counts[0], test_counts[1]);
+  EXPECT_NEAR(static_cast<double>(test.n_rows()) /
+                  static_cast<double>(data.n_rows()),
+              0.3, 0.01);
+}
+
+TEST(Dataset, BootstrapSameSizeFromOriginalRows) {
+  auto data = two_blob_dataset(50, 2.0, 3);
+  Rng rng(4);
+  const auto boot = data.bootstrap(rng);
+  EXPECT_EQ(boot.n_rows(), data.n_rows());
+}
+
+TEST(Dataset, FeatureRanges) {
+  Dataset d({"a"}, {"c0", "c1"});
+  for (double v : {3.0, -1.0, 7.0}) {
+    const double row[1] = {v};
+    d.add(row, 0);
+  }
+  const auto ranges = d.feature_ranges();
+  EXPECT_EQ(ranges[0].first, -1.0);
+  EXPECT_EQ(ranges[0].second, 7.0);
+}
+
+// ---------------------------------------------------------- DecisionTree
+
+TEST(DecisionTree, LearnsSimpleThreshold) {
+  Dataset data({"x"}, {"lo", "hi"});
+  for (int i = 0; i < 100; ++i) {
+    const double row[1] = {static_cast<double>(i)};
+    data.add(row, i < 50 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.fit(data);
+  const double lo[1] = {10.0}, hi[1] = {90.0}, edge[1] = {49.0};
+  EXPECT_EQ(tree.predict(lo), 0);
+  EXPECT_EQ(tree.predict(hi), 1);
+  EXPECT_EQ(tree.predict(edge), 0);
+  EXPECT_EQ(tree.depth(), 1);  // one split suffices
+  EXPECT_EQ(tree.leaf_count(), 2u);
+}
+
+TEST(DecisionTree, SolvesXor) {
+  auto data = xor_dataset(2000, 7);
+  TreeConfig cfg;
+  cfg.max_depth = 4;
+  DecisionTree tree(cfg);
+  tree.fit(data);
+  const auto cm = evaluate(tree, data);
+  EXPECT_GT(cm.accuracy(), 0.95);  // axis-aligned XOR needs depth 2
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  auto data = xor_dataset(2000, 9);
+  TreeConfig cfg;
+  cfg.max_depth = 1;
+  DecisionTree stump(cfg);
+  stump.fit(data);
+  EXPECT_LE(stump.depth(), 1);
+  // A stump cannot solve XOR.
+  EXPECT_LT(evaluate(stump, data).accuracy(), 0.7);
+}
+
+TEST(DecisionTree, PureDataMakesSingleLeaf) {
+  Dataset data({"x"}, {"only", "other"});
+  for (int i = 0; i < 20; ++i) {
+    const double row[1] = {static_cast<double>(i)};
+    data.add(row, 0);
+  }
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const double x[1] = {5.0};
+  EXPECT_EQ(tree.predict(x), 0);
+  EXPECT_DOUBLE_EQ(tree.confidence(x), 1.0);
+}
+
+TEST(DecisionTree, MinSamplesLeafHonored) {
+  auto data = two_blob_dataset(100, 1.0, 11);
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 20;
+  DecisionTree tree(cfg);
+  tree.fit(data);
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) {
+      EXPECT_GE(node.samples, 20u);
+    }
+  }
+}
+
+TEST(DecisionTree, DeterministicAcrossFits) {
+  auto data = two_blob_dataset(300, 1.5, 13);
+  DecisionTree a, b;
+  a.fit(data);
+  b.fit(data);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.nodes()[i].feature, b.nodes()[i].feature);
+    EXPECT_EQ(a.nodes()[i].threshold, b.nodes()[i].threshold);
+  }
+}
+
+TEST(DecisionTree, SampleWeightsShiftDecision) {
+  // Same geometry, but weighting class 1 heavily moves the boundary.
+  Dataset data({"x"}, {"a", "b"});
+  for (int i = 0; i < 10; ++i) {
+    const double row[1] = {static_cast<double>(i)};
+    data.add(row, i < 8 ? 0 : 1);  // 8 zeros, 2 ones
+  }
+  std::vector<double> weights(10, 1.0);
+  weights[8] = weights[9] = 100.0;
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 1;
+  DecisionTree tree(cfg);
+  tree.fit(data, nullptr, weights);
+  // The heavily weighted class must dominate its region's leaf.
+  const double x[1] = {9.0};
+  EXPECT_EQ(tree.predict(x), 1);
+}
+
+TEST(DecisionTree, SerializeRoundTrip) {
+  auto data = two_blob_dataset(200, 2.0, 17);
+  DecisionTree tree;
+  tree.fit(data);
+  const auto text = tree.serialize();
+  const auto restored = DecisionTree::deserialize(text);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored.value().node_count(), tree.node_count());
+  Rng rng(18);
+  for (int i = 0; i < 200; ++i) {
+    const double x[2] = {rng.uniform(-3, 5), rng.uniform(-3, 5)};
+    EXPECT_EQ(restored.value().predict(x), tree.predict(x));
+    EXPECT_EQ(restored.value().predict_proba(x), tree.predict_proba(x));
+  }
+  EXPECT_EQ(restored.value().feature_names(), tree.feature_names());
+}
+
+TEST(DecisionTree, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(DecisionTree::deserialize("not a tree").ok());
+  EXPECT_FALSE(DecisionTree::deserialize("campuslab-tree v1\nbroken").ok());
+  // Out-of-range child index.
+  EXPECT_FALSE(DecisionTree::deserialize(
+                   "campuslab-tree v1\n2 1 1\nx\na\nb\n0 0.5 5 6 10 0.5 0.5\n")
+                   .ok());
+}
+
+TEST(DecisionTree, ToStringMentionsFeatureNames) {
+  auto data = two_blob_dataset(200, 3.0, 19);
+  DecisionTree tree;
+  tree.fit(data);
+  const auto text = tree.to_string();
+  EXPECT_NE(text.find("if x"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+// ---------------------------------------------------------- RandomForest
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  // Noisy, overlapping blobs: a deep single tree overfits; bagging
+  // smooths. Evaluate on held-out data.
+  auto data = two_blob_dataset(600, 1.2, 23);
+  Rng rng(24);
+  const auto [train, test] = data.stratified_split(0.4, rng);
+
+  TreeConfig tcfg;
+  tcfg.max_depth = 20;
+  tcfg.min_samples_leaf = 1;
+  DecisionTree tree(tcfg);
+  tree.fit(train);
+
+  ForestConfig fcfg;
+  fcfg.n_trees = 40;
+  fcfg.seed = 25;
+  RandomForest forest(fcfg);
+  forest.fit(train);
+
+  const double tree_acc = evaluate(tree, test).accuracy();
+  const double forest_acc = evaluate(forest, test).accuracy();
+  EXPECT_GE(forest_acc, tree_acc - 0.005);
+  EXPECT_GT(forest_acc, 0.75);
+}
+
+TEST(RandomForest, ProbabilitiesAreDistributions) {
+  auto data = two_blob_dataset(200, 2.0, 29);
+  ForestConfig cfg;
+  cfg.n_trees = 10;
+  RandomForest forest(cfg);
+  forest.fit(data);
+  Rng rng(30);
+  for (int i = 0; i < 100; ++i) {
+    const double x[2] = {rng.uniform(-3, 5), rng.uniform(-3, 5)};
+    const auto probs = forest.predict_proba(x);
+    double sum = 0;
+    for (const auto p : probs) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  auto data = two_blob_dataset(200, 1.5, 31);
+  ForestConfig cfg;
+  cfg.n_trees = 8;
+  cfg.seed = 77;
+  RandomForest a(cfg), b(cfg);
+  a.fit(data);
+  b.fit(data);
+  Rng rng(32);
+  for (int i = 0; i < 100; ++i) {
+    const double x[2] = {rng.uniform(-3, 5), rng.uniform(-3, 5)};
+    EXPECT_EQ(a.predict_proba(x), b.predict_proba(x));
+  }
+}
+
+TEST(RandomForest, FeatureImportanceFindsSignal) {
+  // x0 carries all the signal; x1 is noise.
+  Dataset data({"signal", "noise"}, {"a", "b"});
+  Rng rng(33);
+  for (int i = 0; i < 1000; ++i) {
+    const double x0 = rng.uniform(0, 1);
+    const double row[2] = {x0, rng.uniform(0, 1)};
+    data.add(row, x0 > 0.5 ? 1 : 0);
+  }
+  ForestConfig cfg;
+  cfg.n_trees = 20;
+  cfg.features_per_split = 1;  // force both features to be tried
+  RandomForest forest(cfg);
+  forest.fit(data);
+  const auto importance = forest.feature_importance();
+  ASSERT_GE(importance.size(), 1u);
+  const double noise_imp =
+      importance.size() > 1 ? importance[1] : 0.0;
+  EXPECT_GT(importance[0], noise_imp * 2);
+}
+
+TEST(RandomForest, IsGenuinelyBiggerThanOneTree) {
+  auto data = two_blob_dataset(300, 1.0, 37);
+  ForestConfig cfg;
+  cfg.n_trees = 30;
+  RandomForest forest(cfg);
+  forest.fit(data);
+  EXPECT_EQ(forest.trees().size(), 30u);
+  EXPECT_GT(forest.total_nodes(), forest.trees()[0].node_count() * 10);
+}
+
+// -------------------------------------------------------- GradientBoosted
+
+TEST(GradientBoosted, LearnsBlobs) {
+  auto data = two_blob_dataset(500, 2.0, 41);
+  Rng rng(42);
+  const auto [train, test] = data.stratified_split(0.3, rng);
+  GradientBoosted gbt;
+  gbt.fit(train);
+  EXPECT_GT(evaluate(gbt, test).accuracy(), 0.9);
+}
+
+TEST(GradientBoosted, SolvesXorUnlikeLinear) {
+  auto data = xor_dataset(3000, 43);
+  Rng rng(44);
+  const auto [train, test] = data.stratified_split(0.3, rng);
+  GradientBoosted gbt;
+  gbt.fit(train);
+  LogisticRegression logit;
+  logit.fit(train);
+  const double gbt_acc = evaluate(gbt, test).accuracy();
+  const double logit_acc = evaluate(logit, test).accuracy();
+  EXPECT_GT(gbt_acc, 0.93);
+  EXPECT_LT(logit_acc, 0.65);  // linear model cannot represent XOR
+}
+
+TEST(GradientBoosted, DecisionValueMonotoneInProbability) {
+  auto data = two_blob_dataset(300, 2.0, 45);
+  GradientBoosted gbt;
+  gbt.fit(data);
+  Rng rng(46);
+  for (int i = 0; i < 50; ++i) {
+    const double x[2] = {rng.uniform(-3, 5), rng.uniform(-3, 5)};
+    const double value = gbt.decision_value(x);
+    const auto probs = gbt.predict_proba(x);
+    EXPECT_NEAR(probs[1], 1.0 / (1.0 + std::exp(-value)), 1e-12);
+  }
+}
+
+TEST(GradientBoosted, MoreRoundsMoreNodes) {
+  auto data = two_blob_dataset(200, 1.0, 47);
+  BoostConfig small, big;
+  small.n_rounds = 5;
+  big.n_rounds = 50;
+  GradientBoosted a(small), b(big);
+  a.fit(data);
+  b.fit(data);
+  EXPECT_EQ(a.rounds_trained(), 5);
+  EXPECT_EQ(b.rounds_trained(), 50);
+  EXPECT_GT(b.total_nodes(), a.total_nodes());
+}
+
+// ----------------------------------------------------- LogisticRegression
+
+TEST(LogisticRegression, SeparableBlobs) {
+  auto data = two_blob_dataset(400, 3.0, 51);
+  LogisticRegression logit;
+  logit.fit(data);
+  EXPECT_GT(evaluate(logit, data).accuracy(), 0.97);
+}
+
+TEST(LogisticRegression, MultiClassOneVsRest) {
+  Dataset data({"x0", "x1"}, {"a", "b", "c"});
+  Rng rng(52);
+  const double centers[3][2] = {{0, 0}, {6, 0}, {0, 6}};
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 200; ++i) {
+      const double row[2] = {rng.normal(centers[c][0], 1.0),
+                             rng.normal(centers[c][1], 1.0)};
+      data.add(row, c);
+    }
+  LogisticRegression logit;
+  logit.fit(data);
+  EXPECT_GT(evaluate(logit, data).accuracy(), 0.95);
+}
+
+TEST(LogisticRegression, HandlesConstantFeature) {
+  Dataset data({"constant", "signal"}, {"a", "b"});
+  Rng rng(53);
+  for (int i = 0; i < 200; ++i) {
+    const double s = rng.uniform(0, 1);
+    const double row[2] = {5.0, s};
+    data.add(row, s > 0.5 ? 1 : 0);
+  }
+  LogisticRegression logit;
+  logit.fit(data);  // must not NaN out on zero variance
+  EXPECT_GT(evaluate(logit, data).accuracy(), 0.9);
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(ConfusionMatrix, HandComputed) {
+  ConfusionMatrix cm(2);
+  // truth 0: 8 correct, 2 predicted 1.  truth 1: 3 predicted 0, 7 correct.
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  for (int i = 0; i < 3; ++i) cm.add(1, 0);
+  for (int i = 0; i < 7; ++i) cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 15.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 7.0 / 9.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 7.0 / 10.0);
+  const double p = 7.0 / 9.0, r = 0.7;
+  EXPECT_DOUBLE_EQ(cm.f1(1), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrix, AbsentClassIsZeroNotNan) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_EQ(cm.precision(2), 0.0);
+  EXPECT_EQ(cm.recall(2), 0.0);
+  EXPECT_EQ(cm.f1(2), 0.0);
+}
+
+TEST(RocAuc, PerfectAndRandomAndInverted) {
+  const std::vector<double> perfect{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(perfect, labels), 1.0);
+
+  const std::vector<double> inverted{0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(roc_auc(inverted, labels), 0.0);
+
+  const std::vector<double> constant{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(constant, labels), 0.5);
+}
+
+TEST(RocAuc, TiesHandledByMidrank) {
+  const std::vector<double> scores{0.1, 0.5, 0.5, 0.9};
+  const std::vector<int> labels{0, 0, 1, 1};
+  // pairs: (0.1 vs 0.5)=win,(0.1 vs 0.9)=win,(0.5 vs 0.5)=tie,(0.5 vs 0.9)=win
+  // AUC = (3 + 0.5)/4
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 3.5 / 4.0);
+}
+
+TEST(OperatingPointTest, ThresholdSweepTradesPrecisionRecall) {
+  // Scores where high threshold is precise but misses positives.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  Rng rng(54);
+  for (int i = 0; i < 2000; ++i) {
+    const bool pos = rng.chance(0.3);
+    scores.push_back(pos ? rng.uniform(0.4, 1.0) : rng.uniform(0.0, 0.6));
+    labels.push_back(pos ? 1 : 0);
+  }
+  const auto loose = operating_point(scores, labels, 0.45);
+  const auto strict = operating_point(scores, labels, 0.9);
+  EXPECT_GT(strict.precision, loose.precision);
+  EXPECT_LT(strict.recall, loose.recall);
+  EXPECT_LT(strict.fpr, loose.fpr);
+  EXPECT_DOUBLE_EQ(strict.precision, 1.0);  // >0.6 is pure positive
+}
+
+TEST(Dataset, CsvExportRoundShape) {
+  Dataset d({"alpha", "beta"}, {"neg", "pos"});
+  const double r0[2] = {1.5, -2.0};
+  const double r1[2] = {3.25, 0.0};
+  d.add(r0, 0);
+  d.add(r1, 1);
+  std::ostringstream out;
+  d.to_csv(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("alpha,beta,label"), std::string::npos);
+  EXPECT_NE(text.find("1.5,-2,neg"), std::string::npos);
+  EXPECT_NE(text.find("3.25,0,pos"), std::string::npos);
+  // Exactly header + 2 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Calibration, BinsCoverAllPredictions) {
+  auto data = two_blob_dataset(300, 2.0, 55);
+  ForestConfig cfg;
+  cfg.n_trees = 15;
+  RandomForest forest(cfg);
+  forest.fit(data);
+  const auto bins = calibration_bins(forest, data, 10);
+  std::uint64_t total = 0;
+  for (const auto& b : bins) {
+    total += b.count;
+    if (b.count > 0) {
+      EXPECT_GE(b.mean_confidence, 0.0);
+      EXPECT_LE(b.mean_confidence, 1.0);
+    }
+  }
+  EXPECT_EQ(total, data.n_rows());
+}
+
+}  // namespace
+}  // namespace campuslab::ml

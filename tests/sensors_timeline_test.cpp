@@ -1,0 +1,179 @@
+// Tests for the complementary-sensor emulation and the cross-source
+// incident timeline — §5's "complementary data" and "linked" store.
+#include <gtest/gtest.h>
+
+#include "campuslab/store/timeline.h"
+#include "campuslab/testbed/testbed.h"
+
+namespace campuslab::testbed {
+namespace {
+
+using packet::TrafficLabel;
+
+TEST(Sensors, QuietCampusEmitsOnlyRoutineHum) {
+  TestbedConfig cfg;
+  cfg.scenario.campus.seed = 51001;
+  cfg.scenario.campus.diurnal = false;
+  cfg.sensors.dhcp_period = Duration::seconds(10);
+  Testbed bed(cfg);
+  bed.run(Duration::seconds(60));
+  ASSERT_TRUE(bed.sensors().has_value());
+  const auto& stats = bed.sensors()->stats();
+  EXPECT_GE(stats.dhcp_events, 4u);
+  // Benign traffic produces few or no security events; allow sshd noise
+  // from legitimate bastion logins.
+  EXPECT_EQ(stats.firewall_events, 0u);
+  EXPECT_EQ(stats.ids_events, 0u);
+}
+
+TEST(Sensors, PortScanLightsUpTheFirewall) {
+  TestbedConfig cfg;
+  cfg.scenario.campus.seed = 51002;
+  cfg.scenario.campus.diurnal = false;
+  sim::PortScanConfig scan;
+  scan.start = Timestamp::from_seconds(2);
+  scan.duration = Duration::seconds(15);
+  scan.probe_rate_pps = 200;
+  cfg.scenario.port_scan.push_back(scan);
+  Testbed bed(cfg);
+  bed.run(Duration::seconds(20));
+
+  EXPECT_GT(bed.sensors()->stats().firewall_events, 500u);
+  store::LogQuery q;
+  q.source = "firewall";
+  const auto events = bed.store().query_logs(q);
+  ASSERT_GT(events.size(), 500u);
+  EXPECT_NE(events[0]->message.find("blocked"), std::string::npos);
+}
+
+TEST(Sensors, BruteForceFillsTheAuthLog) {
+  TestbedConfig cfg;
+  cfg.scenario.campus.seed = 51003;
+  cfg.scenario.campus.diurnal = false;
+  sim::SshBruteForceConfig brute;
+  brute.start = Timestamp::from_seconds(2);
+  brute.duration = Duration::seconds(15);
+  brute.attempts_per_second = 20;
+  cfg.scenario.ssh_brute_force.push_back(brute);
+  Testbed bed(cfg);
+  bed.run(Duration::seconds(20));
+
+  store::LogQuery q;
+  q.source = "sshd";
+  q.subject = bed.network().topology().ssh_gateway().endpoint.ip;
+  EXPECT_GT(bed.store().query_logs(q).size(), 150u);
+}
+
+TEST(Sensors, AmplificationTriggersIdsSamples) {
+  TestbedConfig cfg;
+  cfg.scenario.campus.seed = 51004;
+  cfg.scenario.campus.diurnal = false;
+  sim::DnsAmplificationConfig amp;
+  amp.start = Timestamp::from_seconds(2);
+  amp.duration = Duration::seconds(12);
+  amp.response_rate_pps = 2000;
+  amp.response_bytes = 2500;
+  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.collector.benign_sample_rate = 0.01;
+  cfg.collector.attack_sample_rate = 0.01;
+  Testbed bed(cfg);
+  bed.run(Duration::seconds(16));
+  // ~24k oversized responses at 1% sampling.
+  EXPECT_GT(bed.sensors()->stats().ids_events, 50u);
+}
+
+TEST(Sensors, CanBeDisabled) {
+  TestbedConfig cfg;
+  cfg.scenario.campus.seed = 51005;
+  cfg.enable_sensors = false;
+  Testbed bed(cfg);
+  bed.run(Duration::seconds(5));
+  EXPECT_FALSE(bed.sensors().has_value());
+  EXPECT_EQ(bed.store().catalog().total_log_events, 0u);
+}
+
+TEST(Timeline, MergesFlowsAndLogsChronologically) {
+  TestbedConfig cfg;
+  cfg.scenario.campus.seed = 51006;
+  cfg.scenario.campus.diurnal = false;
+  sim::DnsAmplificationConfig amp;
+  amp.start = Timestamp::from_seconds(5);
+  amp.duration = Duration::seconds(8);
+  amp.response_rate_pps = 800;
+  amp.response_bytes = 2500;
+  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.collector.benign_sample_rate = 0.01;
+  cfg.collector.attack_sample_rate = 0.01;
+  Testbed bed(cfg);
+  bed.run(Duration::seconds(16));
+  bed.flush_flows();
+
+  const auto victim =
+      bed.network().topology().clients().front().endpoint.ip;
+  const auto timeline = store::incident_timeline(
+      bed.store(), victim, Timestamp::from_seconds(0),
+      Timestamp::from_seconds(16));
+  ASSERT_GT(timeline.size(), 10u);
+
+  bool saw_flow = false, saw_attack_flow = false;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(timeline[i].ts, timeline[i - 1].ts);
+    }
+    if (timeline[i].kind == store::TimelineEntry::Kind::kFlowStart) {
+      saw_flow = true;
+      if (timeline[i].severity >= 2) saw_attack_flow = true;
+    }
+  }
+  EXPECT_TRUE(saw_flow);
+  EXPECT_TRUE(saw_attack_flow);
+
+  const auto text = store::to_string(timeline);
+  EXPECT_NE(text.find("FLOW"), std::string::npos);
+  EXPECT_NE(text.find("dns_amplification"), std::string::npos);
+}
+
+TEST(Timeline, RespectsWindowAndCap) {
+  store::DataStore store;
+  const packet::Ipv4Address host(10, 9, 16, 2);
+  for (int i = 0; i < 50; ++i) {
+    store.ingest_log(store::LogEvent{Timestamp::from_seconds(i), "syslog",
+                                     0, host, "tick"});
+  }
+  store::TimelineOptions opt;
+  opt.max_entries = 10;
+  const auto timeline = store::incident_timeline(
+      store, host, Timestamp::from_seconds(20),
+      Timestamp::from_seconds(40), opt);
+  EXPECT_EQ(timeline.size(), 10u);
+  for (const auto& e : timeline) {
+    EXPECT_GE(e.ts, Timestamp::from_seconds(20));
+    EXPECT_LE(e.ts, Timestamp::from_seconds(40));
+  }
+}
+
+TEST(Timeline, BenignFlowFilterKeepsLogs) {
+  store::DataStore store;
+  const packet::Ipv4Address host(10, 9, 16, 3);
+  capture::FlowRecord tiny;
+  tiny.tuple = packet::FiveTuple{host, packet::Ipv4Address(1, 1, 1, 1),
+                                 1000, 80, 6};
+  tiny.first_ts = tiny.last_ts = Timestamp::from_seconds(5);
+  tiny.packets = 1;
+  tiny.bytes = 60;
+  tiny.label_packets[0] = 1;
+  store.ingest(tiny);
+  store.ingest_log(store::LogEvent{Timestamp::from_seconds(6), "ids", 2,
+                                   host, "alert"});
+
+  store::TimelineOptions opt;
+  opt.min_benign_flow_bytes = 1000;  // filters the tiny benign flow
+  const auto timeline = store::incident_timeline(
+      store, host, Timestamp::from_seconds(0),
+      Timestamp::from_seconds(10), opt);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].source, "ids");
+}
+
+}  // namespace
+}  // namespace campuslab::testbed

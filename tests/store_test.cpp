@@ -1,0 +1,354 @@
+// Tests for campuslab::store — ingest/index/query behaviour, query
+// planning across indexes, retention, catalog metadata, log events,
+// and the rotating packet archive.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "campuslab/store/datastore.h"
+#include "campuslab/store/packet_archive.h"
+#include "campuslab/util/rng.h"
+
+namespace campuslab::store {
+namespace {
+
+using capture::FlowRecord;
+using packet::Ipv4Address;
+using packet::TrafficLabel;
+
+FlowRecord make_flow(double start_s, double end_s, Ipv4Address src,
+                     Ipv4Address dst, std::uint16_t sport,
+                     std::uint16_t dport, std::uint8_t proto = 6,
+                     TrafficLabel label = TrafficLabel::kBenign,
+                     std::uint64_t packets = 10,
+                     std::uint64_t bytes = 5000) {
+  FlowRecord f;
+  f.tuple = packet::FiveTuple{src, dst, sport, dport, proto};
+  f.first_ts = Timestamp::from_seconds(start_s);
+  f.last_ts = Timestamp::from_seconds(end_s);
+  f.packets = packets;
+  f.bytes = bytes;
+  f.label_packets[static_cast<std::size_t>(label)] = packets;
+  return f;
+}
+
+const Ipv4Address kAlice(10, 1, 16, 5);
+const Ipv4Address kBob(10, 1, 16, 6);
+const Ipv4Address kServer(93, 184, 216, 34);
+const Ipv4Address kResolver(8, 8, 8, 8);
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.ingest(make_flow(1, 2, kAlice, kServer, 5000, 443));
+    store_.ingest(make_flow(2, 3, kBob, kServer, 5001, 443));
+    store_.ingest(make_flow(3, 4, kAlice, kResolver, 5002, 53, 17));
+    store_.ingest(make_flow(10, 20, kResolver, kAlice, 53, 6000, 17,
+                            TrafficLabel::kDnsAmplification, 1000,
+                            3'000'000));
+  }
+  DataStore store_;
+};
+
+TEST_F(StoreFixture, QueryByHostFindsBothDirections) {
+  FlowQuery q;
+  q.about_host(kAlice);
+  const auto results = store_.query(q);
+  EXPECT_EQ(results.size(), 3u);  // two as src, one as dst
+}
+
+TEST_F(StoreFixture, QueryBySrcAndDstAreDirectional) {
+  FlowQuery by_src;
+  by_src.src = kAlice;
+  EXPECT_EQ(store_.query(by_src).size(), 2u);
+  FlowQuery by_dst;
+  by_dst.dst = kAlice;
+  EXPECT_EQ(store_.query(by_dst).size(), 1u);
+}
+
+TEST_F(StoreFixture, QueryByPort) {
+  FlowQuery q;
+  q.on_port(53);
+  EXPECT_EQ(store_.query(q).size(), 2u);
+  FlowQuery q443;
+  q443.on_port(443);
+  EXPECT_EQ(store_.query(q443).size(), 2u);
+}
+
+TEST_F(StoreFixture, QueryByLabel) {
+  FlowQuery q;
+  q.with_label(TrafficLabel::kDnsAmplification);
+  const auto results = store_.query(q);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0]->flow.packets, 1000u);
+  FlowQuery benign;
+  benign.with_label(TrafficLabel::kBenign);
+  EXPECT_EQ(store_.query(benign).size(), 3u);
+}
+
+TEST_F(StoreFixture, QueryByTimeRangeUsesOverlap) {
+  FlowQuery q;
+  q.between(Timestamp::from_seconds(2.5), Timestamp::from_seconds(3.5));
+  // Flow 2 ([2,3]) and flow 3 ([3,4]) overlap; flow 1 ([1,2]) does not.
+  EXPECT_EQ(store_.query(q).size(), 2u);
+}
+
+TEST_F(StoreFixture, ConjunctionOfPredicates) {
+  FlowQuery q;
+  q.about_host(kAlice);
+  q.proto = 17;
+  q.min_bytes = 1'000'000;
+  const auto results = store_.query(q);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0]->flow.majority_label(),
+            TrafficLabel::kDnsAmplification);
+}
+
+TEST_F(StoreFixture, LimitCapsResults) {
+  FlowQuery q;
+  q.top(2);
+  EXPECT_EQ(store_.query(q).size(), 2u);
+}
+
+TEST_F(StoreFixture, EmptyQueryReturnsEverything) {
+  EXPECT_EQ(store_.query(FlowQuery{}).size(), 4u);
+}
+
+TEST_F(StoreFixture, NoMatchesIsEmptyNotError) {
+  FlowQuery q;
+  q.about_host(Ipv4Address(192, 0, 2, 1));
+  EXPECT_TRUE(store_.query(q).empty());
+}
+
+TEST_F(StoreFixture, IdsAreStableAndMonotonic) {
+  std::vector<std::uint64_t> ids;
+  store_.for_each([&](const StoredFlow& s) { ids.push_back(s.id); });
+  ASSERT_EQ(ids.size(), 4u);
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+}
+
+TEST_F(StoreFixture, CatalogAggregates) {
+  const auto cat = store_.catalog();
+  EXPECT_EQ(cat.total_flows, 4u);
+  EXPECT_EQ(cat.total_packets, 10u * 3 + 1000u);
+  EXPECT_EQ(cat.earliest, Timestamp::from_seconds(1));
+  EXPECT_EQ(cat.latest, Timestamp::from_seconds(20));
+  EXPECT_EQ(cat.flows_per_label[0], 3u);
+  EXPECT_EQ(cat.flows_per_label[static_cast<std::size_t>(
+                TrafficLabel::kDnsAmplification)],
+            1u);
+}
+
+TEST(DataStore, SegmentsRotateAndQuerySpansThem) {
+  DataStoreConfig cfg;
+  cfg.segment_flows = 10;
+  DataStore store(cfg);
+  for (int i = 0; i < 35; ++i) {
+    store.ingest(make_flow(i, i + 0.5, kAlice, kServer,
+                           static_cast<std::uint16_t>(1000 + i), 443));
+  }
+  EXPECT_EQ(store.catalog().segments, 4u);
+  FlowQuery q;
+  q.about_host(kAlice);
+  EXPECT_EQ(store.query(q).size(), 35u);
+}
+
+TEST(DataStore, RetentionDropsOldSealedSegments) {
+  DataStoreConfig cfg;
+  cfg.segment_flows = 5;
+  cfg.retention = Duration::seconds(100);
+  DataStore store(cfg);
+  for (int i = 0; i < 20; ++i)
+    store.ingest(make_flow(i, i + 1, kAlice, kServer,
+                           static_cast<std::uint16_t>(1000 + i), 443));
+  // At t=200 segments ending before t=100 must go.
+  const auto evicted = store.enforce_retention(
+      Timestamp::from_seconds(200));
+  EXPECT_EQ(evicted, 20u);  // all sealed (+last partial stays if unsealed)
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.catalog().evicted_by_retention, 20u);
+}
+
+TEST(DataStore, RetentionKeepsRecentData) {
+  DataStoreConfig cfg;
+  cfg.segment_flows = 5;
+  cfg.retention = Duration::seconds(50);
+  DataStore store(cfg);
+  for (int i = 0; i < 20; ++i)
+    store.ingest(make_flow(i * 10, i * 10 + 1, kAlice, kServer,
+                           static_cast<std::uint16_t>(1000 + i), 443));
+  store.enforce_retention(Timestamp::from_seconds(200));
+  // Flows ending after t=150 must survive.
+  FlowQuery q;
+  q.from = Timestamp::from_seconds(150);
+  EXPECT_GE(store.query(q).size(), 5u);
+}
+
+TEST(DataStore, CleansInvertedTimestamps) {
+  DataStore store;
+  auto f = make_flow(5, 3, kAlice, kServer, 1, 2);  // inverted
+  store.ingest(f);
+  store.for_each([](const StoredFlow& s) {
+    EXPECT_GE(s.flow.last_ts, s.flow.first_ts);
+  });
+}
+
+TEST(DataStore, LogEventsQueryable) {
+  DataStore store;
+  store.ingest_log(LogEvent{Timestamp::from_seconds(1), "firewall", 2,
+                            kAlice, "blocked outbound 445"});
+  store.ingest_log(LogEvent{Timestamp::from_seconds(2), "ids", 3, kBob,
+                            "signature match: ssh brute force"});
+  store.ingest_log(LogEvent{Timestamp::from_seconds(3), "syslog", 0,
+                            kAlice, "dhcp renew"});
+
+  LogQuery by_source;
+  by_source.source = "firewall";
+  EXPECT_EQ(store.query_logs(by_source).size(), 1u);
+
+  LogQuery by_subject;
+  by_subject.subject = kAlice;
+  EXPECT_EQ(store.query_logs(by_subject).size(), 2u);
+
+  LogQuery severe;
+  severe.min_severity = 2;
+  EXPECT_EQ(store.query_logs(severe).size(), 2u);
+
+  LogQuery windowed;
+  windowed.from = Timestamp::from_seconds(1.5);
+  windowed.to = Timestamp::from_seconds(2.5);
+  EXPECT_EQ(store.query_logs(windowed).size(), 1u);
+}
+
+// Property: for random stores, every indexed query returns exactly the
+// same set as a brute-force scan with the same predicate.
+TEST(DataStoreProperty, IndexedQueryEqualsScan) {
+  Rng rng(404);
+  DataStoreConfig cfg;
+  cfg.segment_flows = 64;
+  DataStore store(cfg);
+  std::vector<FlowRecord> all;
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Address src(
+        static_cast<std::uint32_t>(0x0A010000 + rng.below(32)));
+    const Ipv4Address dst(
+        static_cast<std::uint32_t>(0xC6336400 + rng.below(16)));
+    const auto label = static_cast<TrafficLabel>(rng.below(5));
+    auto f = make_flow(rng.uniform(0, 1000), 0, src, dst,
+                       static_cast<std::uint16_t>(rng.below(3) + 5000),
+                       static_cast<std::uint16_t>(rng.chance(0.5) ? 53 : 443),
+                       static_cast<std::uint8_t>(rng.chance(0.5) ? 6 : 17),
+                       label, 1 + rng.below(100), 100 + rng.below(100000));
+    f.last_ts = f.first_ts + Duration::from_seconds(rng.uniform(0, 10));
+    all.push_back(f);
+    store.ingest(f);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    FlowQuery q;
+    if (rng.chance(0.5))
+      q.host = Ipv4Address(
+          static_cast<std::uint32_t>(0x0A010000 + rng.below(32)));
+    if (rng.chance(0.4)) q.label = static_cast<TrafficLabel>(rng.below(5));
+    if (rng.chance(0.4)) q.port = rng.chance(0.5) ? 53 : 443;
+    if (rng.chance(0.5)) {
+      const double a = rng.uniform(0, 1000);
+      q.between(Timestamp::from_seconds(a),
+                Timestamp::from_seconds(a + rng.uniform(0, 300)));
+    }
+    if (rng.chance(0.3)) q.min_bytes = rng.below(50000);
+
+    const auto indexed = store.query(q);
+    std::size_t scan_count = 0;
+    store.for_each([&](const StoredFlow& s) {
+      if (q.matches(s)) ++scan_count;
+    });
+    EXPECT_EQ(indexed.size(), scan_count) << "trial " << trial;
+  }
+}
+
+// --------------------------------------------------------- PacketArchive
+
+class ArchiveFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("campuslab_archive_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  packet::Packet frame(double t_s) {
+    using namespace packet;
+    return PacketBuilder(Timestamp::from_seconds(t_s))
+        .udp(Endpoint{MacAddress::from_id(1), Ipv4Address(10, 0, 16, 2),
+                      1111},
+             Endpoint{MacAddress::from_id(2), Ipv4Address(8, 8, 8, 8), 53})
+        .payload_size(100)
+        .build();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ArchiveFixture, RotatesSegmentsBySpan) {
+  PacketArchiveConfig cfg;
+  cfg.directory = dir_.string();
+  cfg.segment_span = Duration::seconds(60);
+  auto archive = PacketArchive::open(cfg);
+  ASSERT_TRUE(archive.ok());
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(archive.value().write(frame(i * 30.0)).ok());
+  ASSERT_TRUE(archive.value().seal().ok());
+  // 300s of traffic at 60s per segment -> 5 segments.
+  EXPECT_EQ(archive.value().segments().size(), 5u);
+  EXPECT_EQ(archive.value().records_written(), 10u);
+}
+
+TEST_F(ArchiveFixture, ReadRangeSpansSegments) {
+  PacketArchiveConfig cfg;
+  cfg.directory = dir_.string();
+  cfg.segment_span = Duration::seconds(10);
+  auto archive = PacketArchive::open(cfg);
+  ASSERT_TRUE(archive.ok());
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(archive.value().write(frame(i * 1.0)).ok());
+  auto r = archive.value().read_range(Timestamp::from_seconds(25),
+                                      Timestamp::from_seconds(44));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 20u);  // t=25..44 inclusive
+  for (std::size_t i = 1; i < r.value().size(); ++i)
+    EXPECT_GE(r.value()[i].ts, r.value()[i - 1].ts);
+}
+
+TEST_F(ArchiveFixture, RetentionDeletesFiles) {
+  PacketArchiveConfig cfg;
+  cfg.directory = dir_.string();
+  cfg.segment_span = Duration::seconds(10);
+  cfg.retention = Duration::seconds(30);
+  auto archive = PacketArchive::open(cfg);
+  ASSERT_TRUE(archive.ok());
+  for (int i = 0; i < 60; ++i)
+    ASSERT_TRUE(archive.value().write(frame(i * 1.0)).ok());
+  const auto before = archive.value().segments().size();
+  const auto deleted =
+      archive.value().enforce_retention(Timestamp::from_seconds(60));
+  EXPECT_GT(deleted, 0u);
+  EXPECT_EQ(archive.value().segments().size(), before - deleted);
+  // Files are really gone.
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir_))
+    ++files;
+  EXPECT_EQ(files, archive.value().segments().size());
+}
+
+TEST_F(ArchiveFixture, OpenFailsOnMissingDirectory) {
+  PacketArchiveConfig cfg;
+  cfg.directory = (dir_ / "does_not_exist").string();
+  EXPECT_FALSE(PacketArchive::open(cfg).ok());
+}
+
+}  // namespace
+}  // namespace campuslab::store

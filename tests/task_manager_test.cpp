@@ -1,0 +1,231 @@
+// Tests for campuslab::control::TaskManager — concurrent automation
+// tasks on one pipeline: per-attack packages (amplification, SYN flood,
+// SSH brute force) trained independently, deployed together, each
+// catching its own event; budget enforcement; undeploy semantics; and
+// resource composition.
+#include <gtest/gtest.h>
+
+#include "campuslab/control/task_manager.h"
+#include "campuslab/testbed/testbed.h"
+
+namespace campuslab::control {
+namespace {
+
+using packet::TrafficLabel;
+
+/// One campus run with all three attacks active, collected with the
+/// given binary target.
+ml::Dataset collect(TrafficLabel target, std::uint64_t seed) {
+  testbed::TestbedConfig cfg;
+  cfg.scenario.campus.seed = seed;
+  cfg.scenario.campus.diurnal = false;
+  sim::DnsAmplificationConfig amp;
+  amp.start = Timestamp::from_seconds(4);
+  amp.duration = Duration::seconds(18);
+  amp.response_rate_pps = 1200;
+  cfg.scenario.dns_amplification.push_back(amp);
+  sim::SynFloodConfig flood;
+  flood.start = Timestamp::from_seconds(6);
+  flood.duration = Duration::seconds(16);
+  flood.syn_rate_pps = 1200;
+  cfg.scenario.syn_flood.push_back(flood);
+  sim::SshBruteForceConfig brute;
+  brute.start = Timestamp::from_seconds(2);
+  brute.duration = Duration::seconds(22);
+  brute.attempts_per_second = 20;
+  cfg.scenario.ssh_brute_force.push_back(brute);
+
+  cfg.collector.labeling.binary_target = target;
+  cfg.collector.attack_sample_rate = 0.5;
+  cfg.collector.seed = seed * 7;
+  testbed::Testbed bed(cfg);
+  bed.run(Duration::seconds(26));
+  return bed.harvest_dataset();
+}
+
+DeploymentPackage make_package(TrafficLabel target, const char* name,
+                               std::uint64_t seed) {
+  DevelopmentConfig dev;
+  dev.task.name = name;
+  dev.task.event = target;
+  dev.teacher.n_trees = 15;
+  dev.teacher.seed = seed;
+  dev.extraction.student_max_depth = 5;
+  dev.extraction.synthetic_samples = 4000;
+  dev.extraction.seed = seed + 1;
+  dev.seed = seed + 2;
+  auto result = DevelopmentLoop(dev).run(collect(target, seed));
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+  return std::move(result).value();
+}
+
+class TaskManagerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    amp_ = new DeploymentPackage(make_package(
+        TrafficLabel::kDnsAmplification, "amp-drop", 1111));
+    syn_ = new DeploymentPackage(
+        make_package(TrafficLabel::kSynFlood, "synflood-drop", 2222));
+    brute_ = new DeploymentPackage(make_package(
+        TrafficLabel::kSshBruteForce, "brute-drop", 3333));
+  }
+  static void TearDownTestSuite() {
+    delete amp_;
+    delete syn_;
+    delete brute_;
+    amp_ = syn_ = brute_ = nullptr;
+  }
+
+  static DeploymentPackage* amp_;
+  static DeploymentPackage* syn_;
+  static DeploymentPackage* brute_;
+};
+
+DeploymentPackage* TaskManagerFixture::amp_ = nullptr;
+DeploymentPackage* TaskManagerFixture::syn_ = nullptr;
+DeploymentPackage* TaskManagerFixture::brute_ = nullptr;
+
+TEST_F(TaskManagerFixture, EachTaskLearnsItsEvent) {
+  EXPECT_GT(amp_->student_holdout_accuracy, 0.95);
+  EXPECT_GT(syn_->student_holdout_accuracy, 0.95);
+  EXPECT_GT(brute_->student_holdout_accuracy, 0.93);
+}
+
+TEST_F(TaskManagerFixture, ThreeConcurrentTasksEachCatchTheirAttack) {
+  TaskManager manager(dataplane::ResourceBudget::tofino_like());
+  const auto amp_slot = manager.deploy(*amp_);
+  const auto syn_slot = manager.deploy(*syn_);
+  const auto brute_slot = manager.deploy(*brute_);
+  ASSERT_TRUE(amp_slot.ok());
+  ASSERT_TRUE(syn_slot.ok());
+  ASSERT_TRUE(brute_slot.ok());
+  EXPECT_EQ(manager.active_tasks(), 3u);
+
+  // Fresh campus with all three attacks.
+  testbed::TestbedConfig cfg;
+  cfg.scenario.campus.seed = 4444;
+  cfg.scenario.campus.diurnal = false;
+  sim::DnsAmplificationConfig amp;
+  amp.start = Timestamp::from_seconds(3);
+  amp.duration = Duration::seconds(15);
+  amp.response_rate_pps = 1500;
+  cfg.scenario.dns_amplification.push_back(amp);
+  sim::SynFloodConfig flood;
+  flood.start = Timestamp::from_seconds(3);
+  flood.duration = Duration::seconds(15);
+  flood.syn_rate_pps = 1500;
+  cfg.scenario.syn_flood.push_back(flood);
+  sim::SshBruteForceConfig brute;
+  brute.start = Timestamp::from_seconds(3);
+  brute.duration = Duration::seconds(15);
+  brute.attempts_per_second = 25;
+  cfg.scenario.ssh_brute_force.push_back(brute);
+  cfg.collector.benign_sample_rate = 0.01;
+  cfg.collector.attack_sample_rate = 0.01;
+  testbed::Testbed bed(cfg);
+  manager.install(bed.network());
+  bed.run(Duration::seconds(22));
+
+  // Each task blocks most of its own event.
+  EXPECT_GT(manager.task_stats(amp_slot.value()).attack_block_rate(),
+            0.0);  // scored against ALL attacks; use dropped counts:
+  const auto& amp_stats = manager.task_stats(amp_slot.value());
+  const auto& syn_stats = manager.task_stats(syn_slot.value());
+  const auto& brute_stats = manager.task_stats(brute_slot.value());
+  EXPECT_GT(amp_stats.dropped, 10000u);
+  EXPECT_GT(syn_stats.dropped, 10000u);
+  EXPECT_GT(brute_stats.dropped, 200u);
+
+  // Network-wide: the overwhelming majority of attack frames of every
+  // family were filtered, with minimal benign collateral.
+  const auto& acc = bed.network().accounting();
+  const auto amp_i =
+      static_cast<std::size_t>(TrafficLabel::kDnsAmplification);
+  const auto syn_i = static_cast<std::size_t>(TrafficLabel::kSynFlood);
+  const auto brute_i =
+      static_cast<std::size_t>(TrafficLabel::kSshBruteForce);
+  for (const auto idx : {amp_i, syn_i, brute_i}) {
+    const auto tapped = acc.tapped_in.frames[idx];
+    const auto delivered = acc.delivered.frames[idx];
+    ASSERT_GT(tapped, 0u);
+    EXPECT_LT(static_cast<double>(delivered) /
+                  static_cast<double>(tapped),
+              0.12)
+        << "attack family " << idx;
+  }
+  const double benign_filtered_rate =
+      static_cast<double>(acc.filtered.benign_frames()) /
+      static_cast<double>(acc.tapped_in.benign_frames());
+  EXPECT_LT(benign_filtered_rate, 0.03);
+}
+
+TEST_F(TaskManagerFixture, CombinedResourcesShareFeatureStage) {
+  TaskManager manager(dataplane::ResourceBudget::tofino_like());
+  ASSERT_TRUE(manager.deploy(*amp_).ok());
+  const auto one = manager.combined_resources();
+  ASSERT_TRUE(manager.deploy(*syn_).ok());
+  const auto two = manager.combined_resources();
+  // RMT composition: stage depth is the max over tasks (tables sit in
+  // parallel), registers are shared (max), memory is additive.
+  EXPECT_EQ(two.stages_used, std::max(amp_->resources.stages_used,
+                                      syn_->resources.stages_used));
+  EXPECT_LE(two.register_arrays_used,
+            std::max(amp_->resources.register_arrays_used,
+                     syn_->resources.register_arrays_used));
+  EXPECT_EQ(two.sram_bits, one.sram_bits + syn_->resources.sram_bits);
+}
+
+/// A budget whose SRAM pool admits either package alone but not both.
+dataplane::ResourceBudget one_task_budget(
+    const DeploymentPackage& a, const DeploymentPackage& b) {
+  dataplane::ResourceBudget tiny;
+  tiny.sram_bits_per_stage =
+      std::max(a.resources.sram_bits, b.resources.sram_bits) /
+          static_cast<std::size_t>(tiny.stages) +
+      1;
+  return tiny;
+}
+
+TEST_F(TaskManagerFixture, BudgetRefusesOverflow) {
+  TaskManager manager(one_task_budget(*amp_, *syn_));
+  ASSERT_TRUE(manager.deploy(*amp_).ok());
+  const auto second = manager.deploy(*syn_);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, "budget");
+  EXPECT_EQ(manager.active_tasks(), 1u);
+}
+
+TEST_F(TaskManagerFixture, UndeployDisarmsAndFreesBudget) {
+  TaskManager manager(one_task_budget(*amp_, *syn_));
+  const auto first = manager.deploy(*amp_);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(manager.undeploy(first.value()).ok());
+  EXPECT_EQ(manager.active_tasks(), 0u);
+  // Freed budget admits the next task.
+  EXPECT_TRUE(manager.deploy(*syn_).ok());
+  EXPECT_FALSE(manager.undeploy(99).ok());
+}
+
+TEST_F(TaskManagerFixture, DisarmedTaskDoesNotDrop) {
+  TaskManager manager(dataplane::ResourceBudget::tofino_like());
+  const auto slot = manager.deploy(*amp_);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(manager.undeploy(slot.value()).ok());
+
+  testbed::TestbedConfig cfg;
+  cfg.scenario.campus.seed = 5555;
+  sim::DnsAmplificationConfig amp;
+  amp.start = Timestamp::from_seconds(1);
+  amp.duration = Duration::seconds(5);
+  amp.response_rate_pps = 500;
+  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.collector.benign_sample_rate = 0.01;
+  cfg.collector.attack_sample_rate = 0.01;
+  testbed::Testbed bed(cfg);
+  manager.install(bed.network());
+  bed.run(Duration::seconds(8));
+  EXPECT_EQ(bed.network().accounting().filtered.total_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace campuslab::control

@@ -1,0 +1,295 @@
+// Tests for campuslab::xai — extraction fidelity (and the
+// extraction-beats-direct-CART claim), rule-list equivalence with the
+// source tree (property test), and explanation/trust-report contents.
+#include <gtest/gtest.h>
+
+#include "campuslab/ml/forest.h"
+#include "campuslab/ml/metrics.h"
+#include "campuslab/xai/collection_spec.h"
+#include "campuslab/xai/explain.h"
+#include "campuslab/xai/extract.h"
+#include "campuslab/xai/rules.h"
+
+namespace campuslab::xai {
+namespace {
+
+/// A nonlinear 2-class problem (concentric regions + an interaction) —
+/// hard enough that a depth-limited direct CART is visibly worse than
+/// the forest, leaving room for extraction to help.
+ml::Dataset ring_dataset(std::size_t n, std::uint64_t seed) {
+  ml::Dataset data({"x0", "x1", "x2"}, {"inner", "outer"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-2, 2);
+    const double x1 = rng.uniform(-2, 2);
+    const double x2 = rng.uniform(0, 1);
+    const double r = x0 * x0 + x1 * x1;
+    const bool outer = r > 1.5 || (x2 > 0.8 && r > 0.8);
+    const double row[3] = {x0, x1, x2};
+    data.add(row, outer ? 1 : 0);
+  }
+  return data;
+}
+
+class ExtractFixture : public ::testing::Test {
+ protected:
+  ExtractFixture() : data_(ring_dataset(4000, 71)) {
+    Rng rng(72);
+    auto [train, test] = data_.stratified_split(0.3, rng);
+    train_ = std::make_unique<ml::Dataset>(std::move(train));
+    test_ = std::make_unique<ml::Dataset>(std::move(test));
+    ml::ForestConfig cfg;
+    cfg.n_trees = 40;
+    cfg.seed = 73;
+    teacher_.emplace(cfg);
+    teacher_->fit(*train_);
+  }
+
+  ml::Dataset data_;
+  std::unique_ptr<ml::Dataset> train_;
+  std::unique_ptr<ml::Dataset> test_;
+  std::optional<ml::RandomForest> teacher_;
+};
+
+TEST_F(ExtractFixture, StudentIsFaithfulAndSmall) {
+  ExtractConfig cfg;
+  cfg.student_max_depth = 6;
+  cfg.seed = 74;
+  ModelExtractor extractor(cfg);
+  const auto result = extractor.extract(*teacher_, *train_);
+
+  EXPECT_GT(result.train_fidelity, 0.9);
+  const double test_fidelity = fidelity(result.student, *teacher_, *test_);
+  EXPECT_GT(test_fidelity, 0.85);
+  // Orders of magnitude smaller than the ensemble.
+  EXPECT_LT(result.student.node_count(), teacher_->total_nodes() / 20);
+  EXPECT_LE(result.student.depth(), 6);
+}
+
+TEST_F(ExtractFixture, StudentAccuracyNearTeacher) {
+  ExtractConfig cfg;
+  cfg.student_max_depth = 7;
+  cfg.seed = 75;
+  const auto result = ModelExtractor(cfg).extract(*teacher_, *train_);
+  const double teacher_acc = ml::evaluate(*teacher_, *test_).accuracy();
+  const double student_acc =
+      ml::evaluate(result.student, *test_).accuracy();
+  EXPECT_GT(student_acc, teacher_acc - 0.08);
+}
+
+TEST_F(ExtractFixture, ExtractionBeatsDirectCartAtEqualDepth) {
+  // The Bastani et al. claim: a student distilled from the teacher
+  // (with synthetic augmentation) generalizes better than a tree of
+  // the same depth trained directly on the labels.
+  constexpr int kDepth = 4;
+  ExtractConfig cfg;
+  cfg.student_max_depth = kDepth;
+  cfg.seed = 76;
+  const auto distilled = ModelExtractor(cfg).extract(*teacher_, *train_);
+
+  ml::TreeConfig tc;
+  tc.max_depth = kDepth;
+  ml::DecisionTree direct(tc);
+  direct.fit(*train_);
+
+  const double distilled_acc =
+      ml::evaluate(distilled.student, *test_).accuracy();
+  const double direct_acc = ml::evaluate(direct, *test_).accuracy();
+  // Allow a tiny epsilon: the claim is "no worse, usually better".
+  EXPECT_GE(distilled_acc, direct_acc - 0.01);
+}
+
+TEST_F(ExtractFixture, ZeroSyntheticStillWorks) {
+  ExtractConfig cfg;
+  cfg.synthetic_samples = 0;
+  cfg.seed = 77;
+  const auto result = ModelExtractor(cfg).extract(*teacher_, *train_);
+  EXPECT_EQ(result.samples_used, train_->n_rows());
+  EXPECT_GT(result.train_fidelity, 0.85);
+}
+
+TEST_F(ExtractFixture, DeterministicForSeed) {
+  ExtractConfig cfg;
+  cfg.seed = 78;
+  const auto a = ModelExtractor(cfg).extract(*teacher_, *train_);
+  const auto b = ModelExtractor(cfg).extract(*teacher_, *train_);
+  EXPECT_EQ(a.student.serialize(), b.student.serialize());
+}
+
+// -------------------------------------------------------------- RuleList
+
+TEST(RuleList, EquivalentToSourceTreeEverywhere) {
+  auto data = ring_dataset(3000, 81);
+  ml::TreeConfig tc;
+  tc.max_depth = 6;
+  ml::DecisionTree tree(tc);
+  tree.fit(data);
+  const auto rules = RuleList::from_tree(tree);
+
+  Rng rng(82);
+  for (int i = 0; i < 5000; ++i) {
+    const double x[3] = {rng.uniform(-3, 3), rng.uniform(-3, 3),
+                         rng.uniform(-1, 2)};
+    EXPECT_EQ(rules.predict(x), tree.predict(x));
+  }
+}
+
+TEST(RuleList, RuleCountEqualsLeafCount) {
+  auto data = ring_dataset(2000, 83);
+  ml::DecisionTree tree;
+  tree.fit(data);
+  const auto rules = RuleList::from_tree(tree);
+  EXPECT_EQ(rules.rules().size(), tree.leaf_count());
+}
+
+TEST(RuleList, ConditionsMergedPerFeature) {
+  // A deep path can test the same feature repeatedly; merged rules keep
+  // at most one <= and one > condition per feature.
+  auto data = ring_dataset(3000, 84);
+  ml::TreeConfig tc;
+  tc.max_depth = 10;
+  tc.min_samples_leaf = 2;
+  ml::DecisionTree tree(tc);
+  tree.fit(data);
+  const auto rules = RuleList::from_tree(tree);
+  for (const auto& rule : rules.rules()) {
+    std::set<std::pair<int, RuleCondition::Op>> seen;
+    for (const auto& cond : rule.conditions) {
+      const auto key = std::make_pair(cond.feature, cond.op);
+      EXPECT_TRUE(seen.insert(key).second)
+          << "duplicate bound for feature " << cond.feature;
+    }
+    // Max depth 10 over 3 features: merged rules have <= 6 conditions.
+    EXPECT_LE(rule.conditions.size(), 6u);
+  }
+}
+
+TEST(RuleList, OrderedBySupport) {
+  auto data = ring_dataset(2000, 85);
+  ml::DecisionTree tree;
+  tree.fit(data);
+  const auto rules = RuleList::from_tree(tree);
+  for (std::size_t i = 1; i < rules.rules().size(); ++i)
+    EXPECT_GE(rules.rules()[i - 1].support, rules.rules()[i].support);
+}
+
+TEST(RuleList, RendersReadableText) {
+  auto data = ring_dataset(1000, 86);
+  ml::DecisionTree tree;
+  tree.fit(data);
+  const auto text = RuleList::from_tree(tree).to_string(3);
+  EXPECT_NE(text.find("if "), std::string::npos);
+  EXPECT_NE(text.find(" then "), std::string::npos);
+  EXPECT_NE(text.find("confidence"), std::string::npos);
+  EXPECT_NE(text.find("x0"), std::string::npos);
+}
+
+// ------------------------------------------------------------ Explanation
+
+TEST(Explanation, PathMatchesTreeTraversal) {
+  auto data = ring_dataset(2000, 91);
+  ml::TreeConfig tc;
+  tc.max_depth = 5;
+  ml::DecisionTree tree(tc);
+  tree.fit(data);
+
+  const double x[3] = {0.1, 0.1, 0.2};
+  const auto exp = explain_decision(tree, x);
+  EXPECT_EQ(exp.predicted_class, tree.predict(x));
+  EXPECT_NEAR(exp.confidence, tree.confidence(x), 1e-12);
+  EXPECT_GE(exp.steps.size(), 1u);
+  EXPECT_LE(exp.steps.size(), 5u);
+  for (const auto& step : exp.steps) {
+    EXPECT_EQ(step.went_left, step.value <= step.threshold);
+    EXPECT_FALSE(step.feature_name.empty());
+  }
+}
+
+TEST(Explanation, ContributionsSumToLeafMinusRoot) {
+  auto data = ring_dataset(2000, 92);
+  ml::DecisionTree tree;
+  tree.fit(data);
+  const double x[3] = {1.8, -1.2, 0.5};
+  const auto exp = explain_decision(tree, x);
+  double total = 0.0;
+  for (const auto& step : exp.steps) total += step.contribution;
+  const auto root_prob =
+      tree.nodes()[0]
+          .class_probs[static_cast<std::size_t>(exp.predicted_class)];
+  EXPECT_NEAR(root_prob + total, exp.confidence, 1e-9);
+}
+
+TEST(Explanation, RendersEvidenceText) {
+  auto data = ring_dataset(1000, 93);
+  ml::DecisionTree tree;
+  tree.fit(data);
+  const double x[3] = {0.0, 0.0, 0.0};
+  const auto text = explain_decision(tree, x).to_string();
+  EXPECT_NE(text.find("decision:"), std::string::npos);
+  EXPECT_NE(text.find("evidence:"), std::string::npos);
+  EXPECT_NE(text.find("moved P["), std::string::npos);
+}
+
+// --------------------------------------------------------- CollectionSpec
+
+TEST(CollectionSpec, DerivesUsedFeaturesOnly) {
+  auto data = ring_dataset(2000, 95);
+  ml::TreeConfig tc;
+  tc.max_depth = 4;
+  ml::DecisionTree tree(tc);
+  tree.fit(data);
+
+  std::vector<bool> mask(3, false);
+  mask[2] = true;  // x2 is "register-backed"
+  const auto spec = derive_collection_spec(tree, mask);
+
+  EXPECT_EQ(spec.features_total, 3u);
+  EXPECT_GE(spec.features_needed, 1u);
+  EXPECT_LE(spec.features_needed, 3u);
+  EXPECT_EQ(spec.bits_per_packet,
+            static_cast<int>(spec.features_needed) * 16);
+  // Items sorted by usage, names resolved, register flag honored.
+  for (std::size_t i = 1; i < spec.items.size(); ++i)
+    EXPECT_GE(spec.items[i - 1].uses, spec.items[i].uses);
+  for (const auto& item : spec.items) {
+    EXPECT_FALSE(item.name.empty());
+    EXPECT_EQ(item.needs_register_state, item.feature == 2);
+  }
+  const auto text = spec.to_string();
+  EXPECT_NE(text.find("Minimal collection spec"), std::string::npos);
+  EXPECT_NE(text.find("x0"), std::string::npos);
+}
+
+TEST(CollectionSpec, SingleLeafNeedsNothing) {
+  ml::Dataset data({"x"}, {"only", "other"});
+  const double row[1] = {1.0};
+  for (int i = 0; i < 10; ++i) data.add(row, 0);
+  ml::DecisionTree tree;
+  tree.fit(data);
+  const auto spec = derive_collection_spec(tree);
+  EXPECT_EQ(spec.features_needed, 0u);
+  EXPECT_EQ(spec.bits_per_packet, 0);
+}
+
+// ------------------------------------------------------------ TrustReport
+
+TEST_F(ExtractFixture, TrustReportContents) {
+  ExtractConfig cfg;
+  cfg.seed = 94;
+  const auto result = ModelExtractor(cfg).extract(*teacher_, *train_);
+  const auto report =
+      make_trust_report("ring detection", *teacher_, teacher_->total_nodes(),
+                        result.student, *test_);
+  EXPECT_GT(report.teacher_accuracy, 0.8);
+  EXPECT_GT(report.student_accuracy, 0.7);
+  EXPECT_GT(report.fidelity, 0.8);
+  EXPECT_LT(report.student_nodes, report.teacher_nodes);
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("Trust report: ring detection"), std::string::npos);
+  EXPECT_NE(text.find("fidelity"), std::string::npos);
+  EXPECT_NE(text.find("dominant rules"), std::string::npos);
+  EXPECT_NE(text.find("sample decision walkthrough"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace campuslab::xai
