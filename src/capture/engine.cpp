@@ -11,15 +11,13 @@ bool CaptureEngine::offer(const packet::Packet& pkt, sim::Direction dir) {
 }
 
 bool CaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
-  ++stats_.offered;
-  stats_.offered_bytes += pkt.size();
   const auto size = pkt.size();
+  stats_.record_offer(size);
   if (!ring_.try_push(TaggedPacket{std::move(pkt), dir})) {
-    ++stats_.dropped;
-    stats_.dropped_bytes += size;
+    stats_.record_drop(size);
     return false;
   }
-  ++stats_.accepted;
+  stats_.record_accept();
   return true;
 }
 
@@ -30,7 +28,7 @@ std::size_t CaptureEngine::poll(std::size_t max_batch) {
     for (const auto& sink : sinks_) sink(tagged);
     ++consumed;
   }
-  stats_.consumed += consumed;
+  if (consumed > 0) stats_.record_consumed(consumed);
   return consumed;
 }
 

@@ -18,6 +18,12 @@ packet::TrafficLabel FlowRecord::majority_label() const noexcept {
                                  : TrafficLabel::kBenign;
 }
 
+bool flow_export_before(const FlowRecord& a, const FlowRecord& b) noexcept {
+  if (a.first_ts != b.first_ts) return a.first_ts < b.first_ts;
+  if (a.last_ts != b.last_ts) return a.last_ts < b.last_ts;
+  return a.tuple < b.tuple;
+}
+
 FlowMeter::FlowMeter(FlowMeterConfig config) : config_(config) {}
 
 void FlowMeter::offer(const packet::Packet& pkt, sim::Direction dir) {

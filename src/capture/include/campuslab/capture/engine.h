@@ -11,8 +11,10 @@
 // The engine is single-producer/single-consumer. In simulation both
 // sides usually run on one thread (offer(), then poll()); the capture
 // benchmark runs them on two real threads to measure sustained rate.
+// For the multi-worker pipeline see sharded_engine.h.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -33,10 +35,8 @@ struct CaptureConfig {
   std::size_t ring_capacity = 1 << 16;
 };
 
-/// Thread contract: offered/accepted/dropped/*_bytes are written only by
-/// the producer thread, `consumed` only by the consumer thread. Read
-/// stats from a third thread only after both sides have quiesced (e.g.
-/// post-join in the capture benchmark).
+/// A point-in-time snapshot of capture accounting. Produced by
+/// ConcurrentCaptureStats::snapshot(); plain integers, freely copyable.
 struct CaptureStats {
   std::uint64_t offered = 0;
   std::uint64_t accepted = 0;
@@ -50,6 +50,69 @@ struct CaptureStats {
                         : static_cast<double>(dropped) /
                               static_cast<double>(offered);
   }
+
+  CaptureStats& operator+=(const CaptureStats& o) noexcept {
+    offered += o.offered;
+    accepted += o.accepted;
+    dropped += o.dropped;
+    consumed += o.consumed;
+    offered_bytes += o.offered_bytes;
+    dropped_bytes += o.dropped_bytes;
+    return *this;
+  }
+};
+
+/// Capture counters that are safe to sample from any thread while the
+/// producer and consumer run. Producer-side counters (offered /
+/// accepted / dropped / byte totals) and the consumer-side counter
+/// (consumed) live on separate cache lines so neither side's increments
+/// bounce the other's line.
+///
+/// snapshot() guarantees, even mid-flight:
+///   consumed <= offered          and
+///   accepted + dropped <= offered
+/// It reads consumed first and offered last (acquire), and the writers
+/// publish `offered` before the matching accepted/dropped increment
+/// (release), so a sampled snapshot can never show an effect before its
+/// cause. Exact equalities (offered == accepted + dropped,
+/// accepted == consumed) hold once both sides have quiesced.
+class ConcurrentCaptureStats {
+ public:
+  void record_offer(std::uint64_t bytes) noexcept {
+    offered_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    offered_.fetch_add(1, std::memory_order_release);
+  }
+  void record_accept() noexcept {
+    accepted_.fetch_add(1, std::memory_order_release);
+  }
+  void record_drop(std::uint64_t bytes) noexcept {
+    dropped_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_release);
+  }
+  void record_consumed(std::uint64_t n) noexcept {
+    consumed_.fetch_add(n, std::memory_order_release);
+  }
+
+  CaptureStats snapshot() const noexcept {
+    CaptureStats s;
+    // Order matters: consumed before accepted/dropped before offered,
+    // so the documented inequalities hold for live samples.
+    s.consumed = consumed_.load(std::memory_order_acquire);
+    s.accepted = accepted_.load(std::memory_order_acquire);
+    s.dropped = dropped_.load(std::memory_order_acquire);
+    s.dropped_bytes = dropped_bytes_.load(std::memory_order_acquire);
+    s.offered = offered_.load(std::memory_order_acquire);
+    s.offered_bytes = offered_bytes_.load(std::memory_order_acquire);
+    return s;
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> offered_bytes_{0};
+  std::atomic<std::uint64_t> dropped_bytes_{0};
+  alignas(64) std::atomic<std::uint64_t> consumed_{0};
 };
 
 class CaptureEngine {
@@ -74,13 +137,15 @@ class CaptureEngine {
   /// Drain until empty.
   std::size_t drain();
 
-  const CaptureStats& stats() const noexcept { return stats_; }
+  /// Safe to call from any thread at any time (see
+  /// ConcurrentCaptureStats for the mid-flight guarantees).
+  CaptureStats stats() const noexcept { return stats_.snapshot(); }
   std::size_t ring_occupancy() const noexcept { return ring_.size(); }
 
  private:
   SpscRing<TaggedPacket> ring_;
   std::vector<Sink> sinks_;
-  CaptureStats stats_;
+  ConcurrentCaptureStats stats_;
 };
 
 }  // namespace campuslab::capture

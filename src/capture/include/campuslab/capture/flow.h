@@ -54,6 +54,11 @@ struct FlowRecord {
   }
 };
 
+/// Deterministic cross-shard ordering for merged flow exports: by
+/// first activity, then last activity, then tuple. Gives a stable
+/// merged stream regardless of which shard evicted which flow first.
+bool flow_export_before(const FlowRecord& a, const FlowRecord& b) noexcept;
+
 struct FlowMeterConfig {
   Duration idle_timeout = Duration::seconds(15);
   Duration active_timeout = Duration::seconds(60);

@@ -1,0 +1,119 @@
+#include "campuslab/capture/sharded_engine.h"
+
+namespace campuslab::capture {
+
+ShardedCaptureEngine::ShardedCaptureEngine(ShardedCaptureConfig config)
+    : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.poll_batch == 0) config_.poll_batch = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>(config_.ring_capacity));
+}
+
+ShardedCaptureEngine::~ShardedCaptureEngine() { stop(); }
+
+void ShardedCaptureEngine::add_sink_factory(const SinkFactory& factory) {
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shards_[i]->sinks.push_back(factory(i));
+}
+
+std::size_t ShardedCaptureEngine::shard_of(
+    const packet::Packet& pkt) const noexcept {
+  if (shards_.size() == 1) return 0;
+  const packet::PacketView view(pkt);
+  if (!view.valid() || !view.is_ipv4()) return 0;
+  const auto tuple = view.five_tuple();
+  if (!tuple) return 0;
+  // Bidirectional key: both directions of a conversation must land on
+  // the same shard, or flow metering would split every conversation.
+  return static_cast<std::size_t>(tuple->bidirectional().hash()) %
+         shards_.size();
+}
+
+bool ShardedCaptureEngine::offer(const packet::Packet& pkt,
+                                 sim::Direction dir) {
+  packet::Packet copy = pkt;
+  return offer(std::move(copy), dir);
+}
+
+bool ShardedCaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
+  Shard& shard = *shards_[shard_of(pkt)];
+  const auto size = pkt.size();
+  shard.stats.record_offer(size);
+  if (!shard.ring.try_push(TaggedPacket{std::move(pkt), dir})) {
+    shard.stats.record_drop(size);
+    return false;
+  }
+  shard.stats.record_accept();
+  return true;
+}
+
+std::size_t ShardedCaptureEngine::consume_batch(Shard& shard,
+                                                std::size_t max_batch) {
+  std::size_t consumed = 0;
+  TaggedPacket tagged;
+  while (consumed < max_batch && shard.ring.try_pop(tagged)) {
+    for (const auto& sink : shard.sinks) sink(tagged);
+    ++consumed;
+  }
+  if (consumed > 0) shard.stats.record_consumed(consumed);
+  return consumed;
+}
+
+void ShardedCaptureEngine::worker_loop(Shard& shard) {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (consume_batch(shard, config_.poll_batch) == 0)
+      std::this_thread::yield();
+  }
+  // Drain-on-shutdown: the producer has stopped offering by the time
+  // stop() is called, so one final sweep to empty loses nothing.
+  while (consume_batch(shard, config_.poll_batch) > 0) {
+  }
+}
+
+void ShardedCaptureEngine::start() {
+  if (running_) return;
+  stop_requested_.store(false, std::memory_order_release);
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  running_ = true;
+}
+
+void ShardedCaptureEngine::stop() {
+  if (!running_) return;
+  stop_requested_.store(true, std::memory_order_release);
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+  running_ = false;
+}
+
+std::size_t ShardedCaptureEngine::poll_shard(std::size_t shard,
+                                             std::size_t max_batch) {
+  return consume_batch(*shards_[shard], max_batch);
+}
+
+std::size_t ShardedCaptureEngine::drain() {
+  std::size_t total = 0;
+  for (auto& shard : shards_)
+    while (const auto n = consume_batch(*shard, 1024)) total += n;
+  return total;
+}
+
+CaptureStats ShardedCaptureEngine::stats() const noexcept {
+  CaptureStats merged;
+  for (const auto& shard : shards_) merged += shard->stats.snapshot();
+  return merged;
+}
+
+CaptureStats ShardedCaptureEngine::shard_stats(
+    std::size_t shard) const noexcept {
+  return shards_[shard]->stats.snapshot();
+}
+
+std::size_t ShardedCaptureEngine::ring_occupancy(
+    std::size_t shard) const noexcept {
+  return shards_[shard]->ring.size();
+}
+
+}  // namespace campuslab::capture

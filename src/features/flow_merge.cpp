@@ -1,0 +1,55 @@
+#include "campuslab/features/flow_merge.h"
+
+#include <algorithm>
+
+namespace campuslab::features {
+
+std::vector<capture::FlowRecord> merge_flow_exports(
+    std::vector<std::vector<capture::FlowRecord>> per_shard) {
+  std::size_t total = 0;
+  for (const auto& shard : per_shard) total += shard.size();
+  std::vector<capture::FlowRecord> merged;
+  merged.reserve(total);
+  for (auto& shard : per_shard)
+    for (auto& record : shard) merged.push_back(std::move(record));
+  // stable_sort: records that compare equal keep shard-index order, so
+  // the merge is a pure function of (per-shard streams, shard order).
+  std::stable_sort(merged.begin(), merged.end(), capture::flow_export_before);
+  return merged;
+}
+
+ShardedFlowCollector::ShardedFlowCollector(std::size_t shards,
+                                           capture::FlowMeterConfig config) {
+  if (shards == 0) shards = 1;
+  slots_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    slots_.push_back(std::make_unique<Slot>(config));
+}
+
+capture::FlowMeterStats ShardedFlowCollector::merged_meter_stats()
+    const noexcept {
+  capture::FlowMeterStats sum;
+  for (const auto& slot : slots_) {
+    const auto& s = slot->meter.stats();
+    sum.packets_seen += s.packets_seen;
+    sum.non_ip_packets += s.non_ip_packets;
+    sum.flows_created += s.flows_created;
+    sum.flows_evicted_idle += s.flows_evicted_idle;
+    sum.flows_evicted_active += s.flows_evicted_active;
+    sum.flows_evicted_capacity += s.flows_evicted_capacity;
+  }
+  return sum;
+}
+
+std::vector<capture::FlowRecord> ShardedFlowCollector::merged_export() {
+  std::vector<std::vector<capture::FlowRecord>> per_shard;
+  per_shard.reserve(slots_.size());
+  for (auto& slot : slots_) {
+    slot->meter.flush();
+    per_shard.push_back(std::move(slot->exports));
+    slot->exports.clear();
+  }
+  return merge_flow_exports(std::move(per_shard));
+}
+
+}  // namespace campuslab::features

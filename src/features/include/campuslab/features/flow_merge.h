@@ -1,0 +1,70 @@
+// Shard-safe flow tables and deterministic merge of per-shard exports.
+//
+// The sharded capture engine (capture/sharded_engine.h) guarantees that
+// both directions of a conversation land on one shard, so flow state
+// needs no locks: each worker owns a private FlowMeter whose evictions
+// accumulate in a private export buffer. ShardedFlowCollector bundles
+// those N tables; merged_export() flushes them and produces ONE
+// deterministic stream (sorted by flow_export_before) so everything
+// downstream — dataset builders, EXPERIMENTS numbers — is independent
+// of worker scheduling.
+//
+// Thread contract: meter(s) may only be driven by shard s's worker
+// thread; merged_* methods require all workers quiesced (engine
+// stopped or never started).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "campuslab/capture/flow.h"
+
+namespace campuslab::features {
+
+/// Concatenate per-shard export streams and sort them into the
+/// canonical deterministic order.
+std::vector<capture::FlowRecord> merge_flow_exports(
+    std::vector<std::vector<capture::FlowRecord>> per_shard);
+
+class ShardedFlowCollector {
+ public:
+  explicit ShardedFlowCollector(std::size_t shards,
+                                capture::FlowMeterConfig config = {});
+
+  std::size_t shards() const noexcept { return slots_.size(); }
+
+  /// Shard s's private flow table. Drive it only from shard s's
+  /// consumer thread.
+  capture::FlowMeter& meter(std::size_t shard) {
+    return slots_[shard]->meter;
+  }
+
+  /// Flows exported (evicted) by one shard so far.
+  std::size_t exported(std::size_t shard) const noexcept {
+    return slots_[shard]->exports.size();
+  }
+
+  /// Sum of the per-shard meter counters (quiesced workers only).
+  capture::FlowMeterStats merged_meter_stats() const noexcept;
+
+  /// Flush every shard's table and move out the deterministic merged
+  /// export stream. The collector is left empty and reusable.
+  std::vector<capture::FlowRecord> merged_export();
+
+ private:
+  struct Slot {
+    capture::FlowMeter meter;
+    std::vector<capture::FlowRecord> exports;
+
+    explicit Slot(const capture::FlowMeterConfig& config) : meter(config) {
+      meter.set_sink(
+          [this](const capture::FlowRecord& r) { exports.push_back(r); });
+    }
+  };
+
+  // unique_ptr: the sink closure captures the slot's address, so slots
+  // must be address-stable.
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace campuslab::features

@@ -1,0 +1,61 @@
+// ShardedFlowIngester — the concurrent ingest path into the DataStore.
+//
+// The DataStore itself stays single-threaded (its segment/index
+// machinery is the hot query structure; locking it per flow from N
+// workers would serialize the pipeline again). Instead each capture
+// shard appends evicted flows to its own buffer — one tiny per-shard
+// mutex, contended only by that shard's worker and the (rare) merge —
+// and merge_into() moves the buffers into the store in the canonical
+// deterministic order (capture::flow_export_before), so store content
+// is a function of the traffic, not of worker scheduling.
+//
+// merge_into() may run mid-capture (periodic flushes) or after the
+// engine stops; either way each buffer is swapped out under its lock,
+// so workers are blocked for O(1) per merge.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "campuslab/store/datastore.h"
+
+namespace campuslab::store {
+
+class ShardedFlowIngester {
+ public:
+  explicit ShardedFlowIngester(std::size_t shards);
+
+  std::size_t shards() const noexcept { return buffers_.size(); }
+
+  /// Shard-side: buffer one evicted flow. Callable concurrently across
+  /// shards; per shard, callers must be serialized (the shard worker).
+  void ingest(std::size_t shard, const capture::FlowRecord& flow);
+
+  /// Flows buffered but not yet merged. Safe to sample live.
+  std::uint64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  /// Flows moved into a store by merge_into() so far.
+  std::uint64_t merged_total() const noexcept { return merged_total_; }
+
+  /// Deterministic ordered merge of everything buffered into `store`.
+  /// Returns flows ingested. Call from one thread at a time.
+  std::uint64_t merge_into(DataStore& store);
+
+ private:
+  struct Buffer {
+    std::mutex mu;
+    std::vector<capture::FlowRecord> flows;
+  };
+
+  // unique_ptr: mutexes are neither movable nor copyable.
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::uint64_t merged_total_ = 0;
+};
+
+}  // namespace campuslab::store

@@ -1,0 +1,44 @@
+#include "campuslab/store/sharded_ingest.h"
+
+#include <algorithm>
+
+#include "campuslab/capture/flow.h"
+
+namespace campuslab::store {
+
+ShardedFlowIngester::ShardedFlowIngester(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  buffers_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    buffers_.push_back(std::make_unique<Buffer>());
+}
+
+void ShardedFlowIngester::ingest(std::size_t shard,
+                                 const capture::FlowRecord& flow) {
+  {
+    std::lock_guard<std::mutex> lock(buffers_[shard]->mu);
+    buffers_[shard]->flows.push_back(flow);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t ShardedFlowIngester::merge_into(DataStore& store) {
+  std::vector<capture::FlowRecord> merged;
+  for (auto& buffer : buffers_) {
+    std::vector<capture::FlowRecord> taken;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      taken.swap(buffer->flows);
+    }
+    merged.insert(merged.end(), std::make_move_iterator(taken.begin()),
+                  std::make_move_iterator(taken.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   capture::flow_export_before);
+  for (const auto& flow : merged) store.ingest(flow);
+  pending_.fetch_sub(merged.size(), std::memory_order_release);
+  merged_total_ += merged.size();
+  return merged.size();
+}
+
+}  // namespace campuslab::store
