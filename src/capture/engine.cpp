@@ -6,14 +6,18 @@ CaptureEngine::CaptureEngine(CaptureConfig config)
     : ring_(config.ring_capacity) {}
 
 bool CaptureEngine::offer(const packet::Packet& pkt, sim::Direction dir) {
-  packet::Packet copy = pkt;
-  return offer(std::move(copy), dir);
+  // A Packet copy is a refcount bump on the pooled buffer — a dropped
+  // frame no longer pays an allocation + memcpy for nothing.
+  return offer(packet::Packet(pkt), dir);
 }
 
 bool CaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
   const auto size = pkt.size();
   stats_.record_offer(size);
-  if (!ring_.try_push(TaggedPacket{std::move(pkt), dir})) {
+  // Parse-once: the eager decode happens here at the tap; every sink
+  // downstream reads the cached view. A ring-full drop wastes only the
+  // bounded header reads, never an allocation.
+  if (!ring_.try_push(DecodedPacket(std::move(pkt), dir))) {
     stats_.record_drop(size);
     return false;
   }

@@ -26,9 +26,9 @@ bool flow_export_before(const FlowRecord& a, const FlowRecord& b) noexcept {
 
 FlowMeter::FlowMeter(FlowMeterConfig config) : config_(config) {}
 
-void FlowMeter::offer(const packet::Packet& pkt, sim::Direction dir) {
+void FlowMeter::offer(const packet::Packet& pkt, const PacketView& view,
+                      sim::Direction dir) {
   ++stats_.packets_seen;
-  PacketView view(pkt);
   if (!view.valid() || !view.is_ipv4()) {
     ++stats_.non_ip_packets;
     return;

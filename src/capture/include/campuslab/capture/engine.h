@@ -19,17 +19,13 @@
 #include <functional>
 #include <vector>
 
+#include "campuslab/capture/decoded.h"
 #include "campuslab/capture/spsc_ring.h"
+#include "campuslab/packet/buffer.h"
 #include "campuslab/packet/view.h"
 #include "campuslab/sim/campus.h"
 
 namespace campuslab::capture {
-
-/// A captured frame with its border direction.
-struct TaggedPacket {
-  packet::Packet pkt;
-  sim::Direction dir = sim::Direction::kInbound;
-};
 
 struct CaptureConfig {
   std::size_t ring_capacity = 1 << 16;
@@ -44,6 +40,12 @@ struct CaptureStats {
   std::uint64_t consumed = 0;
   std::uint64_t offered_bytes = 0;
   std::uint64_t dropped_bytes = 0;
+
+  /// Gauge snapshot of the process-wide packet buffer pool at stats()
+  /// time. Every engine draws from the same pool, so operator+= keeps
+  /// the left-hand side's snapshot instead of summing (summing would
+  /// double-count the shared pool).
+  packet::BufferPoolStats buffer_pool;
 
   double loss_rate() const noexcept {
     return offered == 0 ? 0.0
@@ -139,7 +141,11 @@ class CaptureEngine {
 
   /// Safe to call from any thread at any time (see
   /// ConcurrentCaptureStats for the mid-flight guarantees).
-  CaptureStats stats() const noexcept { return stats_.snapshot(); }
+  CaptureStats stats() const {
+    CaptureStats s = stats_.snapshot();
+    s.buffer_pool = packet::default_buffer_pool().stats();
+    return s;
+  }
   std::size_t ring_occupancy() const noexcept { return ring_.size(); }
 
  private:

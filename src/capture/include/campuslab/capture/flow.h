@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "campuslab/capture/decoded.h"
 #include "campuslab/packet/view.h"
 #include "campuslab/sim/campus.h"
 
@@ -85,7 +86,19 @@ class FlowMeter {
   /// Update flow state with one packet. Non-IPv4 frames are counted and
   /// skipped. Eviction checks run opportunistically against the
   /// packet's timestamp (virtual time).
-  void offer(const packet::Packet& pkt, sim::Direction dir);
+  ///
+  /// The three-argument form is the parse-once path: `view` must be a
+  /// decode of `pkt`'s bytes (DecodedPacket guarantees this). The
+  /// two-argument form re-parses and exists for callers outside the
+  /// capture pipeline; both run the identical update.
+  void offer(const packet::Packet& pkt, const packet::PacketView& view,
+             sim::Direction dir);
+  void offer(const packet::Packet& pkt, sim::Direction dir) {
+    offer(pkt, packet::PacketView(pkt), dir);
+  }
+  void offer(const DecodedPacket& decoded) {
+    offer(decoded.pkt, decoded.view, decoded.dir);
+  }
 
   /// Evict every flow idle/active-expired as of `now`.
   void sweep(Timestamp now);

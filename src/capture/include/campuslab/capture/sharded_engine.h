@@ -69,9 +69,13 @@ class ShardedCaptureEngine {
   std::size_t shards() const noexcept { return shards_.size(); }
 
   /// The RSS-style spreader. Symmetric: a packet and its reverse map
-  /// to the same shard. Non-IPv4 frames all land on shard 0 (they are
-  /// rare and flowless, but still counted and delivered).
-  std::size_t shard_of(const packet::Packet& pkt) const noexcept;
+  /// to the same shard. Frames without an IPv4 5-tuple (ARP, junk,
+  /// truncated) spread by a byte hash of the frame prefix instead of
+  /// all pinning shard 0, so non-IP load cannot hot-spot one worker.
+  std::size_t shard_of(const packet::PacketView& view) const noexcept;
+  std::size_t shard_of(const packet::Packet& pkt) const noexcept {
+    return shard_of(packet::PacketView(pkt));
+  }
 
   /// Producer side: hash-spread one frame. Returns false when the
   /// owning shard's ring was full and the frame was dropped (counted
@@ -99,9 +103,10 @@ class ShardedCaptureEngine {
 
   /// Merged accounting across shards (safe to sample live; the
   /// per-snapshot inequalities of ConcurrentCaptureStats hold for the
-  /// sum as well).
-  CaptureStats stats() const noexcept;
-  CaptureStats shard_stats(std::size_t shard) const noexcept;
+  /// sum as well). `buffer_pool` is the shared-pool gauge, set once on
+  /// the merged snapshot rather than summed per shard.
+  CaptureStats stats() const;
+  CaptureStats shard_stats(std::size_t shard) const;
   std::size_t ring_occupancy(std::size_t shard) const noexcept;
 
  private:

@@ -89,7 +89,7 @@ Status PcapWriter::write(const packet::Packet& pkt) {
   put32(out, nanos);
   put32(out, incl_len);
   put32(out, orig_len);
-  out.write(reinterpret_cast<const char*>(pkt.data.data()), incl_len);
+  out.write(reinterpret_cast<const char*>(pkt.bytes().data()), incl_len);
   if (!out) return Error::make("io", "record write failed");
   ++records_;
   bytes_ += incl_len + 16;
@@ -167,8 +167,8 @@ Result<std::optional<packet::Packet>> PcapReader::next() {
              : static_cast<std::int64_t>(*frac) * 1000;
   pkt.ts = Timestamp::from_nanos(
       static_cast<std::int64_t>(*secs) * 1'000'000'000 + frac_ns);
-  pkt.data.resize(*incl);
-  in.read(reinterpret_cast<char*>(pkt.data.data()),
+  pkt.resize(*incl);  // fresh pool buffer: mutable_bytes() won't clone
+  in.read(reinterpret_cast<char*>(pkt.mutable_bytes().data()),
           static_cast<std::streamsize>(*incl));
   if (in.gcount() != static_cast<std::streamsize>(*incl))
     return Error::make("truncated", "short record body");

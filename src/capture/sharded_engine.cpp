@@ -1,6 +1,25 @@
 #include "campuslab/capture/sharded_engine.h"
 
+#include <algorithm>
+
 namespace campuslab::capture {
+namespace {
+
+/// FNV-1a over the frame prefix + length: a cheap deterministic spread
+/// for frames that have no 5-tuple to hash.
+std::uint64_t prefix_hash(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  const std::size_t n = std::min<std::size_t>(bytes.size(), 32);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  h ^= bytes.size();
+  h *= 1099511628211ull;
+  return h;
+}
+
+}  // namespace
 
 ShardedCaptureEngine::ShardedCaptureEngine(ShardedCaptureConfig config)
     : config_(config) {
@@ -19,29 +38,37 @@ void ShardedCaptureEngine::add_sink_factory(const SinkFactory& factory) {
 }
 
 std::size_t ShardedCaptureEngine::shard_of(
-    const packet::Packet& pkt) const noexcept {
+    const packet::PacketView& view) const noexcept {
   if (shards_.size() == 1) return 0;
-  const packet::PacketView view(pkt);
-  if (!view.valid() || !view.is_ipv4()) return 0;
-  const auto tuple = view.five_tuple();
-  if (!tuple) return 0;
-  // Bidirectional key: both directions of a conversation must land on
-  // the same shard, or flow metering would split every conversation.
-  return static_cast<std::size_t>(tuple->bidirectional().hash()) %
+  if (view.valid() && view.is_ipv4()) {
+    if (const auto tuple = view.five_tuple()) {
+      // Bidirectional key: both directions of a conversation must land
+      // on the same shard, or flow metering would split every
+      // conversation.
+      return static_cast<std::size_t>(tuple->bidirectional().hash()) %
+             shards_.size();
+    }
+  }
+  // No tuple to key on: spread by a byte hash so junk/non-IP bursts
+  // don't all pile onto one shard.
+  return static_cast<std::size_t>(prefix_hash(view.frame())) %
          shards_.size();
 }
 
 bool ShardedCaptureEngine::offer(const packet::Packet& pkt,
                                  sim::Direction dir) {
-  packet::Packet copy = pkt;
-  return offer(std::move(copy), dir);
+  // Refcount bump, not a deep copy — dropped frames cost nothing extra.
+  return offer(packet::Packet(pkt), dir);
 }
 
 bool ShardedCaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
-  Shard& shard = *shards_[shard_of(pkt)];
-  const auto size = pkt.size();
+  // Decode once at the tap; the same view picks the shard and rides the
+  // ring so no worker ever re-parses the frame.
+  DecodedPacket decoded(std::move(pkt), dir);
+  Shard& shard = *shards_[shard_of(decoded.view)];
+  const auto size = decoded.pkt.size();
   shard.stats.record_offer(size);
-  if (!shard.ring.try_push(TaggedPacket{std::move(pkt), dir})) {
+  if (!shard.ring.try_push(std::move(decoded))) {
     shard.stats.record_drop(size);
     return false;
   }
@@ -100,14 +127,14 @@ std::size_t ShardedCaptureEngine::drain() {
   return total;
 }
 
-CaptureStats ShardedCaptureEngine::stats() const noexcept {
+CaptureStats ShardedCaptureEngine::stats() const {
   CaptureStats merged;
   for (const auto& shard : shards_) merged += shard->stats.snapshot();
+  merged.buffer_pool = packet::default_buffer_pool().stats();
   return merged;
 }
 
-CaptureStats ShardedCaptureEngine::shard_stats(
-    std::size_t shard) const noexcept {
+CaptureStats ShardedCaptureEngine::shard_stats(std::size_t shard) const {
   return shards_[shard]->stats.snapshot();
 }
 

@@ -17,12 +17,13 @@ void FastLoop::install(sim::CampusNetwork& network) {
       [this](const packet::Packet& pkt) { return inspect(pkt); });
 }
 
-bool FastLoop::inspect(const packet::Packet& pkt) {
+bool FastLoop::inspect(const packet::Packet& pkt,
+                       const packet::PacketView& view) {
   const auto t0 = std::chrono::steady_clock::now();
   ++stats_.inspected;
 
   const auto verdict =
-      switch_->process(pkt, sim::Direction::kInbound);
+      switch_->process(pkt, view, sim::Direction::kInbound);
   bool matched = verdict.cls == 1 &&
                  verdict.confidence >= task_.confidence_threshold;
 

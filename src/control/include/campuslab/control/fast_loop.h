@@ -57,7 +57,12 @@ class FastLoop {
   void install(sim::CampusNetwork& network);
 
   /// Decide one packet: true = drop. Exposed for canary/testing use.
-  bool inspect(const packet::Packet& pkt);
+  /// The view-taking form is the parse-once path: `view` must be a
+  /// decode of `pkt`'s bytes; the one-argument form re-parses.
+  bool inspect(const packet::Packet& pkt, const packet::PacketView& view);
+  bool inspect(const packet::Packet& pkt) {
+    return inspect(pkt, packet::PacketView(pkt));
+  }
 
   const MitigationStats& stats() const noexcept { return stats_; }
   /// Wall-clock nanoseconds per inspected packet.

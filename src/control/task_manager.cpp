@@ -54,11 +54,13 @@ Status TaskManager::undeploy(std::size_t slot) {
 
 bool TaskManager::inspect(const packet::Packet& pkt) {
   bool drop = false;
+  // One decode shared by every armed task's fast loop.
+  const packet::PacketView view(pkt);
   for (auto& slot : slots_) {
     if (!slot.armed) continue;
     // Every armed task sees every packet (they share the mirror), so
     // per-task stats stay meaningful even when an earlier task drops.
-    drop = slot.loop->inspect(pkt) || drop;
+    drop = slot.loop->inspect(pkt, view) || drop;
   }
   return drop;
 }

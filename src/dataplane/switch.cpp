@@ -9,9 +9,10 @@ SoftwareSwitch::SoftwareSwitch(
       extractor_(feature_config) {}
 
 Verdict SoftwareSwitch::process(const packet::Packet& pkt,
+                                const packet::PacketView& view,
                                 sim::Direction dir) {
   ++stats_.processed;
-  const auto x = extractor_.extract(pkt, dir);
+  const auto x = extractor_.extract(pkt, view, dir);
   if (x.empty()) {
     ++stats_.non_ip_passed;
     return Verdict{0, 0.0};
@@ -23,9 +24,11 @@ Verdict SoftwareSwitch::process(const packet::Packet& pkt,
   return verdict;
 }
 
-bool SoftwareSwitch::filter(const packet::Packet& pkt, sim::Direction dir,
+bool SoftwareSwitch::filter(const packet::Packet& pkt,
+                            const packet::PacketView& view,
+                            sim::Direction dir,
                             const FilterPolicy& policy) {
-  const auto verdict = process(pkt, dir);
+  const auto verdict = process(pkt, view, dir);
   const bool drop = verdict.cls == policy.drop_class &&
                     verdict.confidence >= policy.min_confidence;
   if (drop) ++stats_.dropped;

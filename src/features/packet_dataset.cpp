@@ -16,9 +16,10 @@ ml::Dataset PacketDatasetCollector::take() {
 }
 
 void PacketDatasetCollector::offer(const packet::Packet& pkt,
+                                   const packet::PacketView& view,
                                    sim::Direction dir) {
   ++seen_;
-  const auto x = extractor_.extract(pkt, dir);
+  const auto x = extractor_.extract(pkt, view, dir);
   if (x.empty() || dir != sim::Direction::kInbound) return;
   const double rate = is_attack(pkt.label) ? options_.attack_sample_rate
                                            : options_.benign_sample_rate;

@@ -52,8 +52,8 @@ void StatefulFeatureExtractor::evict_if_needed(Map& map) {
 }
 
 std::vector<double> StatefulFeatureExtractor::extract(
-    const packet::Packet& pkt, sim::Direction dir) {
-  packet::PacketView view(pkt);
+    const packet::Packet& pkt, const packet::PacketView& view,
+    sim::Direction dir) {
   if (!view.valid() || !view.is_ipv4()) return {};
   const auto tuple = *view.five_tuple();
   const Timestamp now = pkt.ts;

@@ -1,0 +1,103 @@
+#include "campuslab/packet/buffer.h"
+
+#include <new>
+
+namespace campuslab::packet {
+
+PacketBuffer* PacketBuffer::allocate(BufferPool* pool,
+                                     std::uint32_t capacity) {
+  void* raw = ::operator new(sizeof(PacketBuffer) + capacity);
+  return new (raw) PacketBuffer(pool, capacity);
+}
+
+void PacketBuffer::destroy(PacketBuffer* buf) noexcept {
+  buf->~PacketBuffer();
+  ::operator delete(buf);
+}
+
+void PacketBuffer::release() noexcept {
+  // acq_rel: the releasing thread publishes its writes to the buffer;
+  // the thread that observes the count hit zero acquires them before
+  // recycling the storage.
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    pool_->on_last_release(this);
+  }
+}
+
+BufferPool::BufferPool(BufferPoolConfig config) : config_(config) {}
+
+BufferPool::~BufferPool() {
+  std::lock_guard lock(mu_);
+  for (auto* buf : freelist_) PacketBuffer::destroy(buf);
+  freelist_.clear();
+}
+
+BufferRef BufferPool::acquire(std::size_t n) {
+  PacketBuffer* buf = nullptr;
+  if (n <= config_.buffer_capacity) {
+    {
+      std::lock_guard lock(mu_);
+      if (!freelist_.empty()) {
+        buf = freelist_.back();
+        freelist_.pop_back();
+      }
+    }
+    if (buf != nullptr) {
+      pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      buf->refs_.store(1, std::memory_order_relaxed);
+    } else {
+      pool_misses_.fetch_add(1, std::memory_order_relaxed);
+      buf = PacketBuffer::allocate(this, config_.buffer_capacity);
+    }
+  } else {
+    // Oversize frame: one-off heap buffer, freed (not recycled) on the
+    // last release so the freelist stays homogeneous.
+    oversize_allocations_.fetch_add(1, std::memory_order_relaxed);
+    buf = PacketBuffer::allocate(this, static_cast<std::uint32_t>(n));
+  }
+  buf->set_size(static_cast<std::uint32_t>(n));
+
+  const auto out = outstanding_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto high = high_water_.load(std::memory_order_relaxed);
+  while (out > high &&
+         !high_water_.compare_exchange_weak(high, out,
+                                            std::memory_order_relaxed)) {
+  }
+  return BufferRef(buf);
+}
+
+void BufferPool::on_last_release(PacketBuffer* buf) noexcept {
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  if (buf->capacity() == config_.buffer_capacity) {
+    std::lock_guard lock(mu_);
+    if (freelist_.size() < config_.max_pooled) {
+      buf->set_size(0);
+      freelist_.push_back(buf);
+      return;
+    }
+  }
+  PacketBuffer::destroy(buf);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
+  s.oversize_allocations =
+      oversize_allocations_.load(std::memory_order_relaxed);
+  s.heap_allocations = s.pool_misses + s.oversize_allocations;
+  s.outstanding = outstanding_.load(std::memory_order_relaxed);
+  s.high_water = high_water_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    s.freelist_size = freelist_.size();
+  }
+  return s;
+}
+
+BufferPool& default_buffer_pool() {
+  static BufferPool* pool = new BufferPool();  // leaked by design
+  return *pool;
+}
+
+}  // namespace campuslab::packet

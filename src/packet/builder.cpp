@@ -125,7 +125,7 @@ Packet PacketBuilder::build() const {
 
   Packet pkt;
   pkt.ts = ts_;
-  pkt.data = std::move(frame).take();
+  pkt.assign(frame.view());  // straight into a pool buffer
   pkt.label = label_;
   return pkt;
 }

@@ -1,0 +1,179 @@
+// Pooled, refcounted frame storage. The capture papers' two canonical
+// per-packet costs are (a) a heap allocation and (b) a full frame copy;
+// BufferPool removes (a) by recycling fixed-capacity slabs through a
+// freelist, and the intrusive refcount removes (b) by making "copy a
+// packet" a counter bump on a shared buffer.
+//
+// Layout: each PacketBuffer is a small header placed at the front of a
+// single heap block, with `capacity` bytes of frame storage immediately
+// after it — one allocation, one cache-friendly object.
+//
+// Lifetime rules (see DESIGN.md "Packet ownership model"):
+//   * A buffer acquired from a pool must be released (all BufferRefs
+//     dropped) before that pool is destroyed. The process-wide
+//     default_buffer_pool() is deliberately leaked so handles stored in
+//     static-duration objects can never violate this.
+//   * The refcount is thread-safe: distinct BufferRefs to the same
+//     buffer may be copied/dropped from different threads. A single
+//     BufferRef (or Packet) object is NOT safe for unsynchronized
+//     concurrent mutation, same as every other value type here.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace campuslab::packet {
+
+class BufferPool;
+
+/// Header of one refcounted frame buffer; the frame bytes live in the
+/// same allocation, immediately after the header.
+class PacketBuffer {
+ public:
+  std::uint8_t* data() noexcept {
+    return reinterpret_cast<std::uint8_t*>(this + 1);
+  }
+  const std::uint8_t* data() const noexcept {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  std::uint32_t size() const noexcept { return size_; }
+  void set_size(std::uint32_t n) noexcept { size_ = n; }
+
+  std::uint32_t ref_count() const noexcept {
+    return refs_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class BufferPool;
+  friend class BufferRef;
+
+  PacketBuffer(BufferPool* pool, std::uint32_t capacity) noexcept
+      : capacity_(capacity), pool_(pool) {}
+  ~PacketBuffer() = default;
+
+  void add_ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+  /// Drops one reference; on the last one the buffer goes back to its
+  /// pool's freelist (or is freed, if oversize or orphaned).
+  void release() noexcept;
+
+  static PacketBuffer* allocate(BufferPool* pool, std::uint32_t capacity);
+  static void destroy(PacketBuffer* buf) noexcept;
+
+  std::atomic<std::uint32_t> refs_{1};
+  std::uint32_t capacity_;
+  std::uint32_t size_ = 0;
+  BufferPool* pool_;  // never null for live buffers; owning pool
+};
+
+/// Smart handle: copy = refcount bump, move = pointer steal. This is
+/// what makes packet::Packet cheap to copy.
+class BufferRef {
+ public:
+  BufferRef() noexcept = default;
+  /// Adopts an already-referenced buffer (refcount not bumped).
+  explicit BufferRef(PacketBuffer* buf) noexcept : buf_(buf) {}
+  BufferRef(const BufferRef& other) noexcept : buf_(other.buf_) {
+    if (buf_ != nullptr) buf_->add_ref();
+  }
+  BufferRef(BufferRef&& other) noexcept
+      : buf_(std::exchange(other.buf_, nullptr)) {}
+  BufferRef& operator=(const BufferRef& other) noexcept {
+    BufferRef copy(other);
+    std::swap(buf_, copy.buf_);
+    return *this;
+  }
+  BufferRef& operator=(BufferRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      buf_ = std::exchange(other.buf_, nullptr);
+    }
+    return *this;
+  }
+  ~BufferRef() { reset(); }
+
+  void reset() noexcept {
+    if (buf_ != nullptr) {
+      buf_->release();
+      buf_ = nullptr;
+    }
+  }
+
+  PacketBuffer* get() const noexcept { return buf_; }
+  PacketBuffer* operator->() const noexcept { return buf_; }
+  explicit operator bool() const noexcept { return buf_ != nullptr; }
+
+  /// True when this handle is the only reference — the copy-on-write
+  /// gate for in-place mutation.
+  bool unique() const noexcept {
+    return buf_ != nullptr && buf_->ref_count() == 1;
+  }
+
+ private:
+  PacketBuffer* buf_ = nullptr;
+};
+
+/// Pool counters. `outstanding`/`high_water` track buffers handed out
+/// and not yet fully released; at clean shutdown `outstanding == 0`.
+struct BufferPoolStats {
+  std::uint64_t pool_hits = 0;      ///< acquire served from the freelist
+  std::uint64_t pool_misses = 0;    ///< acquire had to heap-allocate a slab
+  std::uint64_t heap_allocations = 0;     ///< misses + oversize
+  std::uint64_t oversize_allocations = 0; ///< frames beyond buffer_capacity
+  std::uint64_t outstanding = 0;    ///< buffers currently referenced
+  std::uint64_t high_water = 0;     ///< max outstanding ever observed
+  std::uint64_t freelist_size = 0;  ///< idle slabs awaiting reuse
+};
+
+struct BufferPoolConfig {
+  /// Slab size. Sized for the largest realistic frame in the simulator
+  /// (DNS amplification responses reach ~3 KiB); anything larger falls
+  /// back to a one-off heap buffer that is freed, not recycled.
+  std::uint32_t buffer_capacity = 4096;
+  /// Freelist cap: idle slabs beyond this are freed instead of pooled.
+  std::size_t max_pooled = 8192;
+};
+
+/// Thread-safe slab pool. acquire() pops the freelist when possible and
+/// heap-allocates otherwise (exhaustion degrades gracefully — it never
+/// blocks or fails); the last release() of a slab pushes it back.
+class BufferPool {
+ public:
+  explicit BufferPool(BufferPoolConfig config = {});
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer with size() == n, contents uninitialized. Never null.
+  BufferRef acquire(std::size_t n);
+
+  BufferPoolStats stats() const;
+  const BufferPoolConfig& config() const noexcept { return config_; }
+
+ private:
+  friend class PacketBuffer;
+  void on_last_release(PacketBuffer* buf) noexcept;
+
+  BufferPoolConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<PacketBuffer*> freelist_;
+
+  std::atomic<std::uint64_t> pool_hits_{0};
+  std::atomic<std::uint64_t> pool_misses_{0};
+  std::atomic<std::uint64_t> oversize_allocations_{0};
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+};
+
+/// Process-wide pool used by packet::Packet. Leaked on purpose: packets
+/// held by static-duration objects must be able to release safely after
+/// main() returns.
+BufferPool& default_buffer_pool();
+
+}  // namespace campuslab::packet

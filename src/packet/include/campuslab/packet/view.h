@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "campuslab/packet/addr.h"
+#include "campuslab/packet/buffer.h"
 #include "campuslab/packet/dns.h"
 #include "campuslab/packet/headers.h"
 #include "campuslab/packet/label.h"
@@ -15,17 +16,57 @@
 
 namespace campuslab::packet {
 
-/// An owning, timestamped frame. `label` is generation-time ground truth
+/// A timestamped frame handle. `label` is generation-time ground truth
 /// (kBenign for anything not injected by an attack generator) and is
 /// metadata: it is never serialized into the frame bytes, mirroring how
 /// a labelled dataset annotates rather than alters its samples.
-struct Packet {
+///
+/// The frame bytes live in a refcounted pool buffer (see buffer.h), so
+/// copying a Packet is a refcount bump — no allocation, no memcpy — and
+/// the bytes stay at a stable address for every copy of the handle.
+/// Mutation goes through the copy-on-write accessors (`resize`,
+/// `mutable_bytes`), which clone the buffer first when it is shared, so
+/// mutating one handle can never be observed through another.
+class Packet {
+ public:
   Timestamp ts;
-  std::vector<std::uint8_t> data;
   TrafficLabel label = TrafficLabel::kBenign;
 
-  std::size_t size() const noexcept { return data.size(); }
-  std::span<const std::uint8_t> bytes() const noexcept { return data; }
+  Packet() noexcept = default;
+
+  std::size_t size() const noexcept {
+    return buf_ ? buf_->size() : 0;
+  }
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return buf_ ? std::span<const std::uint8_t>(buf_->data(), buf_->size())
+                : std::span<const std::uint8_t>{};
+  }
+  /// Materialize an owned copy of the bytes (tests, golden comparisons).
+  std::vector<std::uint8_t> copy_bytes() const {
+    const auto b = bytes();
+    return std::vector<std::uint8_t>(b.begin(), b.end());
+  }
+
+  /// Replace the frame contents (reuses the buffer when this handle is
+  /// the sole owner and the bytes fit; acquires from the pool otherwise).
+  void assign(std::span<const std::uint8_t> frame);
+  /// Replace the frame with `n` bytes of `fill`.
+  void assign(std::size_t n, std::uint8_t fill);
+  /// Copy-on-write resize; grown bytes are zero-filled.
+  void resize(std::size_t n);
+  /// Copy-on-write mutable access to the frame bytes.
+  std::span<std::uint8_t> mutable_bytes();
+  /// Drop the frame (releases this handle's buffer reference).
+  void clear_bytes() noexcept { buf_.reset(); }
+
+  /// True when both handles alias the same pool buffer (diagnostics).
+  bool shares_buffer_with(const Packet& other) const noexcept {
+    return buf_ && buf_.get() == other.buf_.get();
+  }
+  const BufferRef& buffer() const noexcept { return buf_; }
+
+ private:
+  BufferRef buf_;
 };
 
 /// Layered decode of one frame. Construction parses L2-L4 eagerly (a
@@ -33,6 +74,9 @@ struct Packet {
 /// demand. The view does not own the bytes: it must not outlive them.
 class PacketView {
  public:
+  /// Empty, invalid view — placeholder until a real decode is assigned
+  /// (ring slots and default-constructed DecodedPackets need this).
+  PacketView() noexcept = default;
   explicit PacketView(std::span<const std::uint8_t> frame);
   explicit PacketView(const Packet& pkt) : PacketView(pkt.bytes()) {}
 
@@ -41,6 +85,9 @@ class PacketView {
   bool valid() const noexcept { return valid_; }
 
   std::size_t frame_size() const noexcept { return frame_.size(); }
+
+  /// The raw frame bytes this view decodes.
+  std::span<const std::uint8_t> frame() const noexcept { return frame_; }
 
   bool is_ipv4() const noexcept { return has_ipv4_; }
   bool is_ipv6() const noexcept { return has_ipv6_; }

@@ -1,6 +1,56 @@
 #include "campuslab/packet/view.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace campuslab::packet {
+
+void Packet::assign(std::span<const std::uint8_t> frame) {
+  if (buf_ && buf_.unique() && frame.size() <= buf_->capacity()) {
+    // memmove: `frame` may alias this packet's own bytes.
+    if (!frame.empty())
+      std::memmove(buf_->data(), frame.data(), frame.size());
+    buf_->set_size(static_cast<std::uint32_t>(frame.size()));
+    return;
+  }
+  auto fresh = default_buffer_pool().acquire(frame.size());
+  if (!frame.empty())
+    std::memcpy(fresh->data(), frame.data(), frame.size());
+  buf_ = std::move(fresh);
+}
+
+void Packet::assign(std::size_t n, std::uint8_t fill) {
+  if (buf_ && buf_.unique() && n <= buf_->capacity()) {
+    buf_->set_size(static_cast<std::uint32_t>(n));
+  } else {
+    buf_ = default_buffer_pool().acquire(n);
+  }
+  if (n > 0) std::memset(buf_->data(), fill, n);
+}
+
+void Packet::resize(std::size_t n) {
+  if (buf_ && buf_.unique() && n <= buf_->capacity()) {
+    const std::size_t old = buf_->size();
+    if (n > old) std::memset(buf_->data() + old, 0, n - old);
+    buf_->set_size(static_cast<std::uint32_t>(n));
+    return;
+  }
+  const std::size_t keep = std::min(size(), n);
+  auto fresh = default_buffer_pool().acquire(n);
+  if (keep > 0) std::memcpy(fresh->data(), buf_->data(), keep);
+  if (n > keep) std::memset(fresh->data() + keep, 0, n - keep);
+  buf_ = std::move(fresh);
+}
+
+std::span<std::uint8_t> Packet::mutable_bytes() {
+  if (!buf_) return {};
+  if (!buf_.unique()) {
+    auto fresh = default_buffer_pool().acquire(buf_->size());
+    std::memcpy(fresh->data(), buf_->data(), buf_->size());
+    buf_ = std::move(fresh);
+  }
+  return {buf_->data(), buf_->size()};
+}
 
 PacketView::PacketView(std::span<const std::uint8_t> frame) : frame_(frame) {
   ByteReader r(frame);

@@ -65,18 +65,20 @@ PayloadAction PayloadPolicy::action_for(
   return default_rule_.action;
 }
 
-void PayloadPolicy::apply(packet::Packet& pkt, std::uint64_t hash_key) const {
-  packet::PacketView view(pkt);
+void PayloadPolicy::apply(packet::Packet& pkt,
+                          const packet::PacketView& view,
+                          std::uint64_t hash_key) const {
   if (!view.valid() || view.payload().empty()) return;
   std::uint16_t sport = 0, dport = 0;
   if (const auto t = view.five_tuple()) {
     sport = t->src_port;
     dport = t->dst_port;
   }
-  // Locate the payload inside the owned buffer via offsets.
+  // Locate the payload inside the frame via offsets: offsets stay valid
+  // even when a copy-on-write accessor re-seats the bytes below.
   const auto payload_view = view.payload();
   const auto offset = static_cast<std::size_t>(
-      payload_view.data() - pkt.data.data());
+      payload_view.data() - pkt.bytes().data());
   const auto len = payload_view.size();
 
   const auto lo = std::min(sport, dport);
@@ -92,13 +94,13 @@ void PayloadPolicy::apply(packet::Packet& pkt, std::uint64_t hash_key) const {
       return;
     case PayloadAction::kTruncate:
       if (len > rule.truncate_to)
-        pkt.data.resize(offset + rule.truncate_to);
+        pkt.resize(offset + rule.truncate_to);
       return;
     case PayloadAction::kHash:
-      hash_in_place(std::span(pkt.data).subspan(offset, len), hash_key);
+      hash_in_place(pkt.mutable_bytes().subspan(offset, len), hash_key);
       return;
     case PayloadAction::kStrip:
-      pkt.data.resize(offset);
+      pkt.resize(offset);
       return;
   }
 }

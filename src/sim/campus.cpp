@@ -29,11 +29,12 @@ void CampusNetwork::inject(Direction dir, packet::Packet pkt) {
     accounting_.offered_out.count(pkt);
     const auto delivery = upstream_out_.transmit(pkt.size(), now);
     if (!delivery) return;  // dropped in the border egress queue
-    auto shared = std::make_shared<packet::Packet>(std::move(pkt));
-    events_->schedule_at(*delivery, [this, shared] {
-      shared->ts = events_->now();
-      accounting_.delivered_out.count(*shared);
-      if (tap_) tap_(*shared, Direction::kOutbound);
+    // Packets are pooled-buffer handles now: capturing one by value is
+    // a refcount bump, so no shared_ptr wrapper is needed.
+    events_->schedule_at(*delivery, [this, pkt = std::move(pkt)]() mutable {
+      pkt.ts = events_->now();
+      accounting_.delivered_out.count(pkt);
+      if (tap_) tap_(pkt, Direction::kOutbound);
     });
     return;
   }
@@ -44,10 +45,9 @@ void CampusNetwork::inject(Direction dir, packet::Packet pkt) {
     accounting_.lost_upstream.count(pkt);
     return;
   }
-  auto shared = std::make_shared<packet::Packet>(std::move(pkt));
-  events_->schedule_at(*delivery, [this, shared] {
-    shared->ts = events_->now();
-    deliver_inbound(std::move(*shared));
+  events_->schedule_at(*delivery, [this, pkt = std::move(pkt)]() mutable {
+    pkt.ts = events_->now();
+    deliver_inbound(std::move(pkt));
   });
 }
 
@@ -78,9 +78,8 @@ void CampusNetwork::deliver_inbound(packet::Packet pkt) {
       accounting_.lost_access.count(pkt);
       return;
     }
-    auto shared = std::make_shared<packet::Packet>(std::move(pkt));
-    events_->schedule_at(*delivery, [this, shared] {
-      accounting_.delivered.count(*shared);
+    events_->schedule_at(*delivery, [this, pkt = std::move(pkt)] {
+      accounting_.delivered.count(pkt);
     });
     return;
   }

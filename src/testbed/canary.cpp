@@ -12,15 +12,16 @@ Result<std::unique_ptr<CanaryDeployment>> CanaryDeployment::create(
 
 void CanaryDeployment::attach(Testbed& testbed) {
   testbed.add_observer([this](const capture::TaggedPacket& tagged) {
-    observe(tagged.pkt, tagged.dir);
+    observe(tagged.pkt, tagged.view, tagged.dir);
   });
 }
 
 void CanaryDeployment::observe(const packet::Packet& pkt,
+                               const packet::PacketView& view,
                                sim::Direction dir) {
   if (dir != sim::Direction::kInbound) return;
   ++stats_.observed;
-  const auto verdict = switch_->process(pkt, dir);
+  const auto verdict = switch_->process(pkt, view, dir);
   const bool would_drop = verdict.cls == 1 &&
                           verdict.confidence >= task_.confidence_threshold;
   const bool attack = packet::is_attack(pkt.label);

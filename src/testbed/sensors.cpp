@@ -40,7 +40,9 @@ void SensorEmulator::observe(const capture::TaggedPacket& tagged) {
   }
 
   if (tagged.dir != sim::Direction::kInbound) return;
-  PacketView view(pkt);
+  // Parse-once: the decode cached at the tap rides in on the tagged
+  // packet.
+  const PacketView& view = tagged.view;
   if (!view.valid() || !view.is_ipv4()) return;
   const auto tuple = view.five_tuple();
   if (!tuple) return;

@@ -11,8 +11,9 @@ Testbed::Testbed(TestbedConfig config)
     store_.ingest(flow);
   });
   engine_.add_sink([this](const capture::TaggedPacket& tagged) {
-    meter_.offer(tagged.pkt, tagged.dir);
-    collector_.offer(tagged.pkt, tagged.dir);
+    // Parse-once: both consumers read the decode cached at the tap.
+    meter_.offer(tagged);
+    collector_.offer(tagged.pkt, tagged.view, tagged.dir);
   });
   if (config_.enable_sensors) {
     sensors_.emplace(config_.sensors, store_,
@@ -30,9 +31,12 @@ Testbed::Testbed(TestbedConfig config)
       archive_.emplace(std::move(archive).value());
       engine_.add_sink([this](const capture::TaggedPacket& tagged) {
         // Collection-side privacy: the payload policy decides what form
-        // the raw bytes are stored in.
+        // the raw bytes are stored in. The copy is a refcount bump;
+        // redaction mutates it copy-on-write, so the shared buffer the
+        // other sinks (and their cached view) read stays untouched.
         packet::Packet redacted = tagged.pkt;
-        config_.archive_policy.apply(redacted, config_.archive_hash_key);
+        config_.archive_policy.apply(redacted, tagged.view,
+                                     config_.archive_hash_key);
         (void)archive_->write(redacted);
       });
     }

@@ -1,0 +1,247 @@
+// BufferPool / BufferRef / Packet-handle semantics: slab reuse and the
+// hit/miss/outstanding/high-water accounting, graceful heap fallback on
+// exhaustion and oversize frames, copy-on-write isolation between
+// Packet handles, and refcount correctness under concurrent
+// clone/move/release from many threads (the suite the CI sanitizer
+// jobs exist for — it must stay TSAN- and ASAN-clean).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campuslab/packet/buffer.h"
+#include "campuslab/packet/view.h"
+#include "campuslab/util/rng.h"
+
+namespace campuslab::packet {
+namespace {
+
+TEST(BufferPool, AcquireReusesReleasedSlabs) {
+  BufferPool pool;
+  {
+    auto a = pool.acquire(100);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->size(), 100u);
+    EXPECT_EQ(a->capacity(), pool.config().buffer_capacity);
+  }  // released -> freelist
+  auto s = pool.stats();
+  EXPECT_EQ(s.pool_misses, 1u);
+  EXPECT_EQ(s.pool_hits, 0u);
+  EXPECT_EQ(s.outstanding, 0u);
+  EXPECT_EQ(s.freelist_size, 1u);
+
+  auto b = pool.acquire(2000);  // different size, same slab class
+  s = pool.stats();
+  EXPECT_EQ(s.pool_hits, 1u);
+  EXPECT_EQ(s.pool_misses, 1u);
+  EXPECT_EQ(s.heap_allocations, 1u);
+  EXPECT_EQ(s.outstanding, 1u);
+  EXPECT_EQ(s.high_water, 1u);
+  EXPECT_EQ(b->size(), 2000u);
+}
+
+TEST(BufferPool, ExhaustionFallsBackToHeapGracefully) {
+  BufferPool pool;
+  // 64 buffers live at once: the freelist starts empty, so every
+  // acquire is a miss — but none may fail or block.
+  std::vector<BufferRef> live;
+  for (int i = 0; i < 64; ++i) live.push_back(pool.acquire(64));
+  auto s = pool.stats();
+  EXPECT_EQ(s.pool_misses, 64u);
+  EXPECT_EQ(s.outstanding, 64u);
+  EXPECT_EQ(s.high_water, 64u);
+
+  live.clear();  // all 64 slabs go back to the pool...
+  for (int i = 0; i < 64; ++i) live.push_back(pool.acquire(64));
+  s = pool.stats();
+  EXPECT_EQ(s.pool_hits, 64u);  // ...and the rerun is all hits
+  EXPECT_EQ(s.pool_misses, 64u);
+  live.clear();
+  EXPECT_EQ(pool.stats().outstanding, 0u);  // no leak at shutdown
+}
+
+TEST(BufferPool, OversizeFramesAreHeapOneOffs) {
+  BufferPoolConfig cfg;
+  cfg.buffer_capacity = 256;
+  BufferPool pool(cfg);
+  {
+    auto big = pool.acquire(10'000);
+    ASSERT_TRUE(big);
+    EXPECT_EQ(big->size(), 10'000u);
+    EXPECT_GE(big->capacity(), 10'000u);
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.oversize_allocations, 1u);
+  EXPECT_EQ(s.heap_allocations, 1u);
+  EXPECT_EQ(s.freelist_size, 0u);  // not recycled into the slab class
+  EXPECT_EQ(s.outstanding, 0u);
+}
+
+TEST(BufferPool, FreelistIsCapped) {
+  BufferPoolConfig cfg;
+  cfg.max_pooled = 4;
+  BufferPool pool(cfg);
+  {
+    std::vector<BufferRef> live;
+    for (int i = 0; i < 16; ++i) live.push_back(pool.acquire(32));
+  }
+  // Only max_pooled slabs survive as idle; the rest were freed (ASAN
+  // would flag them if they leaked).
+  EXPECT_EQ(pool.stats().freelist_size, 4u);
+}
+
+TEST(BufferRef, CopyBumpsAndMoveSteals) {
+  BufferPool pool;
+  auto a = pool.acquire(10);
+  EXPECT_TRUE(a.unique());
+  BufferRef b = a;  // copy: shared now
+  EXPECT_FALSE(a.unique());
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->ref_count(), 2u);
+  BufferRef c = std::move(b);  // move: no count change
+  EXPECT_EQ(a->ref_count(), 2u);
+  EXPECT_EQ(b.get(), nullptr);
+  c.reset();
+  EXPECT_TRUE(a.unique());
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+}
+
+// ------------------------------------------------- Packet handle + COW
+
+TEST(PacketHandle, CopyIsARefcountBumpNotADeepCopy) {
+  Packet a;
+  a.assign(500, 0xAB);
+  const Packet b = a;  // the whole point of the refactor
+  EXPECT_TRUE(a.shares_buffer_with(b));
+  EXPECT_EQ(a.bytes().data(), b.bytes().data());  // same slab bytes
+  EXPECT_EQ(b.size(), 500u);
+}
+
+TEST(PacketHandle, MutatingACopyLeavesTheOriginalUntouched) {
+  Packet a;
+  a.assign(64, 0x11);
+  Packet b = a;
+  b.mutable_bytes()[0] = 0x99;  // copy-on-write unshares first
+  EXPECT_FALSE(a.shares_buffer_with(b));
+  EXPECT_EQ(a.bytes()[0], 0x11);
+  EXPECT_EQ(b.bytes()[0], 0x99);
+}
+
+TEST(PacketHandle, ResizeIsCowToo) {
+  Packet a;
+  a.assign(64, 0x22);
+  Packet b = a;
+  b.resize(32);  // truncation must not shrink a's frame
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_FALSE(a.shares_buffer_with(b));
+  b.resize(48);  // growth zero-fills
+  for (std::size_t i = 32; i < 48; ++i) EXPECT_EQ(b.bytes()[i], 0u);
+}
+
+TEST(PacketHandle, UniqueMutationIsInPlace) {
+  Packet a;
+  a.assign(64, 0x33);
+  const auto* before = a.bytes().data();
+  a.mutable_bytes()[5] = 0x44;
+  a.resize(32);
+  EXPECT_EQ(a.bytes().data(), before);  // sole owner: no re-seat
+}
+
+TEST(PacketHandle, ViewSurvivesHandleCopyAndMove) {
+  // The parse-once contract: buffer bytes are address-stable under
+  // handle copy/move, so a PacketView taken once stays valid.
+  Packet a;
+  a.assign(64, 0x55);
+  const PacketView view(a);
+  const Packet b = a;                 // copy
+  const Packet c = std::move(a);      // move
+  EXPECT_EQ(view.frame().data(), c.bytes().data());
+  EXPECT_EQ(view.frame().data(), b.bytes().data());
+}
+
+// ----------------------------------------------------- concurrency
+
+// Concurrent clone/move/release of handles onto the same set of pool
+// buffers, from many threads. The refcount is the only shared state;
+// TSAN must see no race and the pool must balance to zero outstanding.
+TEST(BufferPoolConcurrency, CloneMoveReleaseStress) {
+  BufferPool pool;
+  constexpr int kBases = 16;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+
+  std::vector<BufferRef> bases;
+  for (int i = 0; i < kBases; ++i) bases.push_back(pool.acquire(256));
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bases, t] {
+      Rng rng(0x5EED + static_cast<std::uint64_t>(t));
+      std::vector<BufferRef> local;
+      for (int i = 0; i < kIters; ++i) {
+        switch (rng.below(4)) {
+          case 0:  // clone a shared base (concurrent add_ref)
+            local.push_back(bases[rng.below(kBases)]);
+            break;
+          case 1:  // clone one of ours
+            if (!local.empty()) local.push_back(local[rng.below(local.size())]);
+            break;
+          case 2:  // move within the thread (no count change)
+            if (!local.empty()) {
+              BufferRef moved = std::move(local.back());
+              local.back() = std::move(moved);
+            }
+            break;
+          default:  // release (concurrent fetch_sub)
+            if (!local.empty()) {
+              std::swap(local[rng.below(local.size())], local.back());
+              local.pop_back();
+            }
+        }
+      }
+      // local handles all released on scope exit
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every thread-local clone is gone; only the bases remain.
+  for (const auto& base : bases) {
+    ASSERT_TRUE(base);
+    EXPECT_EQ(base->ref_count(), 1u);
+  }
+  EXPECT_EQ(pool.stats().outstanding, static_cast<std::uint64_t>(kBases));
+  bases.clear();
+  EXPECT_EQ(pool.stats().outstanding, 0u);  // no leak at shutdown
+}
+
+// Packets cloned and dropped across threads while a producer keeps
+// offering the same const packet — the pattern the capture engines use
+// (offer(const&) bumps the refcount from the tap thread while workers
+// release theirs).
+TEST(BufferPoolConcurrency, SharedPacketCloneAcrossThreads) {
+  Packet base;
+  base.assign(1200, 0x77);
+  constexpr int kThreads = 6;
+  constexpr int kIters = 50'000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&base] {
+      for (int i = 0; i < kIters; ++i) {
+        Packet clone = base;          // add_ref on the shared buffer
+        Packet moved = std::move(clone);
+        ASSERT_EQ(moved.size(), 1200u);
+        ASSERT_EQ(moved.bytes()[0], 0x77);
+      }  // release
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(base.buffer().unique());
+  EXPECT_EQ(base.bytes()[7], 0x77);
+}
+
+}  // namespace
+}  // namespace campuslab::packet

@@ -139,7 +139,7 @@ TEST_F(PcapFixture, WriteReadRoundTrip) {
   ASSERT_EQ(all.value().size(), 50u);
   for (std::size_t i = 0; i < 50; ++i) {
     EXPECT_EQ(all.value()[i].ts, sent[i].ts);
-    EXPECT_EQ(all.value()[i].data, sent[i].data);
+    EXPECT_EQ(all.value()[i].copy_bytes(), sent[i].copy_bytes());
   }
 }
 
@@ -168,7 +168,7 @@ TEST_F(PcapFixture, SnaplenTruncates) {
   ASSERT_TRUE(reader.ok());
   auto r = reader.value().next();
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.value()->data.size(), 100u);
+  EXPECT_EQ(r.value()->size(), 100u);
 }
 
 TEST_F(PcapFixture, RejectsGarbageFile) {
@@ -371,7 +371,7 @@ TEST(FlowMeter, NonIpCounted) {
   FlowMeter meter;
   packet::Packet junk;
   junk.ts = Timestamp::from_seconds(1);
-  junk.data.assign(60, 0xEE);
+  junk.assign(60, 0xEE);
   meter.offer(junk, Direction::kInbound);
   EXPECT_EQ(meter.stats().non_ip_packets, 1u);
   EXPECT_EQ(meter.active_flows(), 0u);

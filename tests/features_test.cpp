@@ -236,7 +236,7 @@ TEST(PacketFeatures, NonIpReturnsEmpty) {
   StatefulFeatureExtractor extractor;
   packet::Packet junk;
   junk.ts = Timestamp::from_seconds(1);
-  junk.data.assign(64, 0xAA);
+  junk.assign(64, 0xAA);
   EXPECT_TRUE(extractor.extract(junk, Direction::kInbound).empty());
 }
 

@@ -94,7 +94,7 @@ TEST(Filter, SizePredicatesWorkOnAnyFrame) {
   EXPECT_TRUE(must_parse("less 100").matches(small));
   // Non-IP garbage still answers size predicates.
   packet::Packet junk;
-  junk.data.assign(200, 0xEE);
+  junk.assign(200, 0xEE);
   EXPECT_TRUE(must_parse("greater 100").matches(junk));
   EXPECT_FALSE(must_parse("udp").matches(junk));
 }

@@ -394,7 +394,7 @@ TEST(Builder, Ipv4ChecksumValidOnWire) {
                        .build();
   // IPv4 header starts after Ethernet; checksum over it must verify to 0.
   const auto ip_header =
-      std::span(pkt.data).subspan(EthernetHeader::kSize, 20);
+      pkt.bytes().subspan(EthernetHeader::kSize, 20);
   EXPECT_EQ(internet_checksum(ip_header), 0);
 }
 
@@ -406,7 +406,7 @@ TEST(Builder, TransportChecksumValidOnWire) {
                        .payload_size(37)
                        .build();
   const auto segment =
-      std::span(pkt.data).subspan(EthernetHeader::kSize + 20);
+      pkt.bytes().subspan(EthernetHeader::kSize + 20);
   EXPECT_EQ(transport_checksum(src.ip, dst.ip, IpProto::kUdp, segment), 0);
 }
 
@@ -519,7 +519,7 @@ TEST(BuilderProperty, RandomFramesRoundTrip) {
     EXPECT_EQ(v.payload().size(), payload_len);
     // Wire checksums must verify.
     const auto ip_header =
-        std::span(pkt.data).subspan(EthernetHeader::kSize, 20);
+        pkt.bytes().subspan(EthernetHeader::kSize, 20);
     EXPECT_EQ(internet_checksum(ip_header), 0);
   }
 }

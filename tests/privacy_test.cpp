@@ -143,9 +143,10 @@ packet::Packet make_frame(std::uint16_t dport, std::size_t payload) {
 
 TEST(PayloadPolicy, KeepLeavesPayloadIntact) {
   auto pkt = make_frame(53, 200);
-  const auto original = pkt.data;
+  const auto original = pkt.copy_bytes();
   PayloadPolicy::conservative().apply(pkt, 1);
-  EXPECT_EQ(pkt.data, original);  // DNS is kKeep in the conservative policy
+  // DNS is kKeep in the conservative policy
+  EXPECT_EQ(pkt.copy_bytes(), original);
 }
 
 TEST(PayloadPolicy, TruncateShortensFrame) {
@@ -172,20 +173,21 @@ TEST(PayloadPolicy, HashReplacesButKeepsLength) {
   PayloadPolicy policy;
   policy.set_default(PayloadAction::kHash);
   auto pkt = make_frame(9999, 64);
-  const auto before = pkt.data;
+  const auto before = pkt.copy_bytes();
   policy.apply(pkt, 42);
   EXPECT_EQ(pkt.size(), before.size());
-  EXPECT_NE(pkt.data, before);
+  EXPECT_NE(pkt.copy_bytes(), before);
   // Identical payloads hash identically (correlation preserved)...
   auto pkt2 = make_frame(9999, 64);
   policy.apply(pkt2, 42);
-  EXPECT_EQ(std::vector<std::uint8_t>(pkt.data.end() - 16, pkt.data.end()),
-            std::vector<std::uint8_t>(pkt2.data.end() - 16,
-                                      pkt2.data.end()));
+  const auto digest = pkt.copy_bytes();
+  const auto digest2 = pkt2.copy_bytes();
+  EXPECT_EQ(std::vector<std::uint8_t>(digest.end() - 16, digest.end()),
+            std::vector<std::uint8_t>(digest2.end() - 16, digest2.end()));
   // ...but a different key gives a different digest.
   auto pkt3 = make_frame(9999, 64);
   policy.apply(pkt3, 43);
-  EXPECT_NE(pkt.data, pkt3.data);
+  EXPECT_NE(pkt.copy_bytes(), pkt3.copy_bytes());
 }
 
 TEST(PayloadPolicy, ActionLookupPrefersServicePort) {

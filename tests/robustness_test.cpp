@@ -55,7 +55,7 @@ TEST(FuzzPacketView, TruncatedRealFramesDegradeGracefully) {
                         .payload_size(100)
                         .build();
   for (std::size_t cut = 0; cut <= full.size(); ++cut) {
-    PacketView view{std::span(full.data).first(cut)};
+    PacketView view{full.bytes().first(cut)};
     // Must never crash; below the full L2+L3+L4 headers it must not
     // claim a TCP layer.
     if (cut < packet::EthernetHeader::kSize + 20 + 20) {
@@ -75,7 +75,7 @@ TEST(FuzzPacketView, BitFlippedRealFramesNeverCrash) {
                         .payload_size(64)
                         .build();
   for (int trial = 0; trial < 10000; ++trial) {
-    auto mutated = base.data;
+    auto mutated = base.copy_bytes();
     const int flips = 1 + static_cast<int>(rng.below(16));
     for (int f = 0; f < flips; ++f) {
       const auto pos = rng.below(mutated.size());
@@ -227,8 +227,9 @@ TEST(HostileFeatures, ExtractorSurvivesGarbageAndExtremes) {
   for (int i = 0; i < 5000; ++i) {
     packet::Packet junk;
     junk.ts = Timestamp::from_nanos(i);
-    junk.data.resize(rng.below(128));
-    for (auto& b : junk.data) b = static_cast<std::uint8_t>(rng.next());
+    junk.resize(rng.below(128));
+    for (auto& b : junk.mutable_bytes())
+      b = static_cast<std::uint8_t>(rng.next());
     const auto x = extractor.extract(junk, sim::Direction::kInbound);
     for (const auto v : x) EXPECT_TRUE(std::isfinite(v));
   }

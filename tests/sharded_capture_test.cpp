@@ -125,6 +125,35 @@ TEST(ShardedCaptureEngine, SameConversationSameShard) {
   }
 }
 
+TEST(ShardedCaptureEngine, NonIpFramesSpreadAcrossShards) {
+  // Regression for the shard-0 hot spot: frames with no IPv4 tuple
+  // (malformed, truncated, non-IP ethertypes) used to all land on
+  // shard 0, so a junk flood serialized behind one worker. They now
+  // get a cheap byte hash and must spread.
+  ShardedCaptureConfig cfg;
+  cfg.shards = 8;
+  ShardedCaptureEngine engine(cfg);
+  Rng rng(42);
+  std::vector<std::size_t> hits(cfg.shards, 0);
+  for (int i = 0; i < 2000; ++i) {
+    packet::Packet junk;
+    junk.ts = Timestamp::from_nanos(i);
+    junk.resize(14 + rng.below(128));  // too short / garbage headers
+    for (auto& b : junk.mutable_bytes())
+      b = static_cast<std::uint8_t>(rng.below(256));
+    const auto shard = engine.shard_of(junk);
+    ASSERT_LT(shard, engine.shards());
+    // Deterministic: same bytes -> same shard, every time.
+    EXPECT_EQ(engine.shard_of(junk), shard);
+    hits[shard]++;
+  }
+  std::size_t busy = 0;
+  for (const auto h : hits) busy += h > 0 ? 1 : 0;
+  EXPECT_GE(busy, 6u) << "junk frames still hot-spotting";
+  // No shard may swallow the majority of the junk.
+  for (const auto h : hits) EXPECT_LT(h, 2000u / 2);
+}
+
 TEST(ShardedCaptureEngine, DropsAttributedToTheFullShard) {
   ShardedCaptureConfig cfg;
   cfg.shards = 4;
