@@ -11,12 +11,18 @@
 //      campus-scale (10-20G) is tractable where carrier-scale is not.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "campuslab/capture/engine.h"
+#include "campuslab/capture/flow.h"
 #include "campuslab/capture/sharded_engine.h"
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
 #include "campuslab/packet/buffer.h"
 #include "campuslab/util/rng.h"
 
@@ -361,11 +367,119 @@ void print_allocation_table() {
             "forced deep copies, and the handle path allocates nothing.");
 }
 
+/// Per-stage latency distribution of the capture path, from the
+/// campuslab::obs stage histograms. Sample period 1 so every hop of
+/// every packet is measured; quantiles resolve inside the log2 bucket
+/// that holds the rank (within 2x — the right resolution for tails).
+void print_stage_latency_table() {
+  obs::set_trace_sample_period(1);
+  obs::set_tracing_enabled(true);
+
+  constexpr std::size_t kShards = 2;
+  capture::ShardedCaptureConfig cfg;
+  cfg.shards = kShards;
+  cfg.ring_capacity = 1 << 14;
+  capture::ShardedCaptureEngine engine(cfg);
+  std::vector<std::unique_ptr<capture::FlowMeter>> meters;
+  for (std::size_t s = 0; s < kShards; ++s)
+    meters.push_back(std::make_unique<capture::FlowMeter>());
+  engine.add_sink_factory([&](std::size_t s) {
+    return [meter = meters[s].get()](const capture::TaggedPacket& t) {
+      meter->offer(t.pkt, t.view, t.dir);
+    };
+  });
+
+  auto frames = make_imix(4096, 17);
+  constexpr std::size_t kCount = 200'000;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    engine.offer(frames[i & 4095], sim::Direction::kInbound);
+    if ((i & 63) == 0) engine.drain();
+  }
+  engine.drain();
+
+  std::puts("\n=== T-CAP: per-stage latency (ns, sampled every packet) ===");
+  std::printf("%-22s%-10s%-10s%-10s%-10s%-10s\n", "stage", "count", "p50",
+              "p99", "p999", "mean");
+  const auto snap = obs::Registry::global().snapshot();
+  for (const auto& m : snap.metrics) {
+    if (m.name != "pipeline_stage_ns" || m.histogram.count == 0) continue;
+    std::printf("%-22s%-10" PRIu64 "%-10.0f%-10.0f%-10.0f%-10.0f\n",
+                m.labels.c_str(), m.histogram.count,
+                m.histogram.quantile(0.50), m.histogram.quantile(0.99),
+                m.histogram.quantile(0.999), m.histogram.mean());
+  }
+  std::puts("shape: enqueue/dequeue are tens of ns; decode dominates the "
+            "per-packet budget, flow_update sits between.");
+  obs::set_trace_sample_period(256);
+}
+
+/// The observability bill: the same 4-shard hot path with tracing off
+/// vs on (default 1/256 sampling). Acceptance: <= 3% throughput cost at
+/// the knee configuration.
+void print_obs_overhead_table() {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kCount = 400'000;
+  auto frames = make_imix(4096, 19);
+
+  const auto run_once = [&]() -> double {
+    capture::ShardedCaptureConfig cfg;
+    cfg.shards = kShards;
+    cfg.ring_capacity = 1 << 14;
+    capture::ShardedCaptureEngine engine(cfg);
+    std::vector<std::unique_ptr<capture::FlowMeter>> meters;
+    for (std::size_t s = 0; s < kShards; ++s)
+      meters.push_back(std::make_unique<capture::FlowMeter>());
+    engine.add_sink_factory([&](std::size_t s) {
+      return [meter = meters[s].get()](const capture::TaggedPacket& t) {
+        meter->offer(t.pkt, t.view, t.dir);
+      };
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kCount; ++i) {
+      engine.offer(frames[i & 4095], sim::Direction::kInbound);
+      if ((i & 63) == 0) engine.drain();
+    }
+    engine.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count()) /
+           static_cast<double>(kCount);
+  };
+  obs::set_trace_sample_period(256);  // production default
+  // Warm the pool and caches, then interleave off/on pairs and take the
+  // per-mode minimum, so frequency and cache drift hit both modes alike.
+  obs::set_tracing_enabled(false);
+  run_once();
+  double off_ns = 1e18, on_ns = 1e18;
+  for (int r = 0; r < 7; ++r) {
+    obs::set_tracing_enabled(false);
+    off_ns = std::min(off_ns, run_once());
+    obs::set_tracing_enabled(true);
+    on_ns = std::min(on_ns, run_once());
+  }
+
+  const double overhead = (on_ns - off_ns) / off_ns * 100.0;
+  std::puts("\n=== T-CAP: observability overhead (4 shards, IMIX) ===");
+  std::printf("tracing off: %7.1f ns/pkt (%.2f Mpps)\n", off_ns,
+              1e3 / off_ns);
+  std::printf("tracing on:  %7.1f ns/pkt (%.2f Mpps), 1/256 sampling\n",
+              on_ns, 1e3 / on_ns);
+  std::printf("overhead: %+.2f%% (target <= 3%%) — %s\n", overhead,
+              overhead <= 3.0 ? "OK" : "REGRESSION");
+  std::puts("shape: counters are relaxed fetch_adds resolved once; timers "
+            "pay two clock reads only on the sampled 1/256 of packets.");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  // Stage latencies first: the global histograms are clean, so the
+  // table's counts are exactly this table's packets.
+  print_stage_latency_table();
+  print_obs_overhead_table();
   print_allocation_table();
   print_loss_table();
   print_sharded_loss_table();

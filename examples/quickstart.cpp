@@ -10,6 +10,8 @@
 #include <cstdio>
 
 #include "campuslab/capture/sharded_engine.h"
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
 #include "campuslab/features/flow_merge.h"
 #include "campuslab/privacy/gate.h"
 #include "campuslab/store/sharded_ingest.h"
@@ -174,5 +176,18 @@ int main() {
                 (unsigned long long)shard.consumed,
                 (unsigned long long)shard.dropped);
   }
+
+  // --- 7. One snapshot of the whole pipeline (campuslab::obs). -------
+  // Every stage above — tap decode, rings, flow meters, dataset and
+  // store ingest, buffer pool — registered its counters, live gauges
+  // and per-stage latency histograms in the global registry as a side
+  // effect of running. An operator (or a scraper) exports them all
+  // with one call; no per-component plumbing.
+  std::puts("\nMetrics snapshot (obs::Registry::global):");
+  const auto snapshot = obs::Registry::global().snapshot();
+  std::fputs(snapshot.to_text().c_str(), stdout);
+  const auto json = snapshot.to_json();
+  std::printf("\nJSON export: %zu bytes, e.g. %.120s...\n", json.size(),
+              json.c_str());
   return 0;
 }

@@ -1,9 +1,38 @@
 #include "campuslab/capture/engine.h"
 
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
+
 namespace campuslab::capture {
 
+namespace {
+
+// Process-wide obs wiring, resolved once. Every CaptureEngine in the
+// process aggregates into the same series (registry semantics); the
+// per-stage histograms are shared with the sharded engine so one
+// latency table covers both paths.
+struct EngineMetrics {
+  obs::Counter& offered = obs::Registry::global().counter("capture.offered");
+  obs::Counter& dropped = obs::Registry::global().counter("capture.dropped");
+  obs::Counter& consumed =
+      obs::Registry::global().counter("capture.consumed");
+  obs::Histogram& decode_ns = obs::stage_histogram("tap_decode");
+  obs::Histogram& enqueue_ns = obs::stage_histogram("ring_enqueue");
+  obs::Histogram& dequeue_ns = obs::stage_histogram("ring_dequeue");
+  obs::Histogram& dispatch_ns = obs::stage_histogram("sink_dispatch");
+
+  static EngineMetrics& get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
 CaptureEngine::CaptureEngine(CaptureConfig config)
-    : ring_(config.ring_capacity) {}
+    : ring_(config.ring_capacity) {
+  (void)EngineMetrics::get();  // resolve outside the packet path
+}
 
 bool CaptureEngine::offer(const packet::Packet& pkt, sim::Direction dir) {
   // A Packet copy is a refcount bump on the pooled buffer — a dropped
@@ -12,13 +41,26 @@ bool CaptureEngine::offer(const packet::Packet& pkt, sim::Direction dir) {
 }
 
 bool CaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
+  auto& metrics = EngineMetrics::get();
   const auto size = pkt.size();
   stats_.record_offer(size);
+  metrics.offered.increment();
   // Parse-once: the eager decode happens here at the tap; every sink
   // downstream reads the cached view. A ring-full drop wastes only the
   // bounded header reads, never an allocation.
-  if (!ring_.try_push(DecodedPacket(std::move(pkt), dir))) {
+  DecodedPacket decoded;
+  {
+    obs::StageTimer timer(metrics.decode_ns);
+    decoded = DecodedPacket(std::move(pkt), dir);
+  }
+  bool pushed;
+  {
+    obs::StageTimer timer(metrics.enqueue_ns);
+    pushed = ring_.try_push(std::move(decoded));
+  }
+  if (!pushed) {
     stats_.record_drop(size);
+    metrics.dropped.increment();
     return false;
   }
   stats_.record_accept();
@@ -26,13 +68,27 @@ bool CaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
 }
 
 std::size_t CaptureEngine::poll(std::size_t max_batch) {
+  auto& metrics = EngineMetrics::get();
   std::size_t consumed = 0;
   TaggedPacket tagged;
-  while (consumed < max_batch && ring_.try_pop(tagged)) {
-    for (const auto& sink : sinks_) sink(tagged);
+  while (consumed < max_batch) {
+    bool popped;
+    {
+      obs::StageTimer timer(metrics.dequeue_ns);
+      popped = ring_.try_pop(tagged);
+      if (!popped) timer.cancel();  // empty-ring probes are not latency
+    }
+    if (!popped) break;
+    {
+      obs::StageTimer timer(metrics.dispatch_ns);
+      for (const auto& sink : sinks_) sink(tagged);
+    }
     ++consumed;
   }
-  if (consumed > 0) stats_.record_consumed(consumed);
+  if (consumed > 0) {
+    stats_.record_consumed(consumed);
+    metrics.consumed.add(consumed);
+  }
   return consumed;
 }
 

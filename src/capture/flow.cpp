@@ -2,11 +2,38 @@
 
 #include <algorithm>
 
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
+
 namespace campuslab::capture {
 
 using packet::PacketView;
 using packet::TcpFlags;
 using packet::TrafficLabel;
+
+namespace {
+
+// Shared across every FlowMeter in the process (per-shard meters
+// aggregate; per-shard table sizes are exported separately by
+// features::ShardedFlowCollector as labelled gauges).
+struct FlowMetrics {
+  obs::Counter& created =
+      obs::Registry::global().counter("flow.flows_created");
+  obs::Counter& evicted_idle =
+      obs::Registry::global().counter("flow.evicted_idle");
+  obs::Counter& evicted_active =
+      obs::Registry::global().counter("flow.evicted_active");
+  obs::Counter& evicted_capacity =
+      obs::Registry::global().counter("flow.evicted_capacity");
+  obs::Histogram& update_ns = obs::stage_histogram("flow_update");
+
+  static FlowMetrics& get() {
+    static FlowMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 packet::TrafficLabel FlowRecord::majority_label() const noexcept {
   // Attack-if-any: argmax over the attack labels only; benign wins only
@@ -28,6 +55,8 @@ FlowMeter::FlowMeter(FlowMeterConfig config) : config_(config) {}
 
 void FlowMeter::offer(const packet::Packet& pkt, const PacketView& view,
                       sim::Direction dir) {
+  auto& metrics = FlowMetrics::get();
+  obs::StageTimer stage_timer(metrics.update_ns);
   ++stats_.packets_seen;
   if (!view.valid() || !view.is_ipv4()) {
     ++stats_.non_ip_packets;
@@ -62,15 +91,19 @@ void FlowMeter::offer(const packet::Packet& pkt, const PacketView& view,
       }
       if (victim == table_.end()) victim = table_.begin();
       ++stats_.flows_evicted_capacity;
+      metrics.evicted_capacity.increment();
       evict(victim->first, victim->second);
       table_.erase(victim);
+      publish_size();
     }
     FlowState state;
     state.record.tuple = tuple;
     state.record.initial_direction = dir;
     state.record.first_ts = pkt.ts;
     ++stats_.flows_created;
+    metrics.created.increment();
     it = table_.emplace(key, std::move(state)).first;
+    publish_size();
   }
 
   auto& rec = it->second.record;
@@ -96,8 +129,10 @@ void FlowMeter::offer(const packet::Packet& pkt, const PacketView& view,
   // into multiple records, as NetFlow does).
   if (rec.last_ts - rec.first_ts >= config_.active_timeout) {
     ++stats_.flows_evicted_active;
+    metrics.evicted_active.increment();
     evict(key, it->second);
     table_.erase(it);
+    publish_size();
   }
 
   maybe_periodic_sweep(pkt.ts);
@@ -107,18 +142,21 @@ void FlowMeter::sweep(Timestamp now) {
   for (auto it = table_.begin(); it != table_.end();) {
     if (now - it->second.last_activity >= config_.idle_timeout) {
       ++stats_.flows_evicted_idle;
+      FlowMetrics::get().evicted_idle.increment();
       evict(it->first, it->second);
       it = table_.erase(it);
     } else {
       ++it;
     }
   }
+  publish_size();
   last_sweep_ = now;
 }
 
 void FlowMeter::flush() {
   for (auto& [key, state] : table_) evict(key, state);
   table_.clear();
+  publish_size();
 }
 
 void FlowMeter::evict(const packet::FiveTuple&, FlowState& state) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -107,6 +108,15 @@ class FlowMeter {
   void flush();
 
   std::size_t active_flows() const noexcept { return table_.size(); }
+
+  /// Table size safe to read from ANY thread while the owning worker is
+  /// still metering (relaxed atomic mirror of table_.size()); this is
+  /// what live obs gauges sample. May lag active_flows() by the update
+  /// in flight.
+  std::size_t approx_active_flows() const noexcept {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
+
   const FlowMeterStats& stats() const noexcept { return stats_; }
 
  private:
@@ -118,9 +128,15 @@ class FlowMeter {
   void evict(const packet::FiveTuple& key, FlowState& state);
   void maybe_periodic_sweep(Timestamp now);
 
+  /// Refresh approx_size_ after any table mutation.
+  void publish_size() noexcept {
+    approx_size_.store(table_.size(), std::memory_order_relaxed);
+  }
+
   FlowMeterConfig config_;
   FlowSink sink_;
   std::unordered_map<packet::FiveTuple, FlowState> table_;
+  std::atomic<std::size_t> approx_size_{0};
   FlowMeterStats stats_;
   Timestamp last_sweep_{};
   std::uint64_t evict_cursor_ = 1;  // bucket-probe state for sampling

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "campuslab/capture/engine.h"
+#include "campuslab/obs/registry.h"
 
 namespace campuslab::capture {
 
@@ -116,6 +117,11 @@ class ShardedCaptureEngine {
     std::vector<Sink> sinks;
     ConcurrentCaptureStats stats;
     std::thread worker;
+    // Per-shard obs mirrors (labels "shard=N"), resolved at engine
+    // construction so the packet path never touches the registry lock.
+    obs::Counter* obs_offered = nullptr;
+    obs::Counter* obs_dropped = nullptr;
+    obs::Counter* obs_consumed = nullptr;
   };
 
   std::size_t consume_batch(Shard& shard, std::size_t max_batch);
@@ -123,6 +129,9 @@ class ShardedCaptureEngine {
 
   ShardedCaptureConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Live ring-occupancy gauges (capture.ring_occupancy{shard=N});
+  // handles unregister before shards_ dies.
+  std::vector<obs::Registry::CallbackHandle> obs_handles_;
   std::atomic<bool> stop_requested_{false};
   bool running_ = false;
 };

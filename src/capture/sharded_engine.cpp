@@ -1,9 +1,24 @@
 #include "campuslab/capture/sharded_engine.h"
 
 #include <algorithm>
+#include <string>
+
+#include "campuslab/obs/stage_timer.h"
 
 namespace campuslab::capture {
 namespace {
+
+struct ShardedMetrics {
+  obs::Histogram& decode_ns = obs::stage_histogram("tap_decode");
+  obs::Histogram& enqueue_ns = obs::stage_histogram("ring_enqueue");
+  obs::Histogram& dequeue_ns = obs::stage_histogram("ring_dequeue");
+  obs::Histogram& dispatch_ns = obs::stage_histogram("sink_dispatch");
+
+  static ShardedMetrics& get() {
+    static ShardedMetrics m;
+    return m;
+  }
+};
 
 /// FNV-1a over the frame prefix + length: a cheap deterministic spread
 /// for frames that have no 5-tuple to hash.
@@ -26,8 +41,20 @@ ShardedCaptureEngine::ShardedCaptureEngine(ShardedCaptureConfig config)
   if (config_.shards == 0) config_.shards = 1;
   if (config_.poll_batch == 0) config_.poll_batch = 1;
   shards_.reserve(config_.shards);
-  for (std::size_t i = 0; i < config_.shards; ++i)
-    shards_.push_back(std::make_unique<Shard>(config_.ring_capacity));
+  auto& registry = obs::Registry::global();
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(config_.ring_capacity);
+    const std::string label = "shard=" + std::to_string(i);
+    shard->obs_offered = &registry.counter("capture.shard.offered", label);
+    shard->obs_dropped = &registry.counter("capture.shard.dropped", label);
+    shard->obs_consumed = &registry.counter("capture.shard.consumed", label);
+    obs_handles_.push_back(registry.register_callback(
+        "capture.ring_occupancy", label, [ring = &shard->ring] {
+          return static_cast<double>(ring->size());
+        }));
+    shards_.push_back(std::move(shard));
+  }
+  (void)ShardedMetrics::get();  // resolve stage histograms up front
 }
 
 ShardedCaptureEngine::~ShardedCaptureEngine() { stop(); }
@@ -62,14 +89,26 @@ bool ShardedCaptureEngine::offer(const packet::Packet& pkt,
 }
 
 bool ShardedCaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
+  auto& metrics = ShardedMetrics::get();
   // Decode once at the tap; the same view picks the shard and rides the
   // ring so no worker ever re-parses the frame.
-  DecodedPacket decoded(std::move(pkt), dir);
+  DecodedPacket decoded;
+  {
+    obs::StageTimer timer(metrics.decode_ns);
+    decoded = DecodedPacket(std::move(pkt), dir);
+  }
   Shard& shard = *shards_[shard_of(decoded.view)];
   const auto size = decoded.pkt.size();
   shard.stats.record_offer(size);
-  if (!shard.ring.try_push(std::move(decoded))) {
+  shard.obs_offered->increment();
+  bool pushed;
+  {
+    obs::StageTimer timer(metrics.enqueue_ns);
+    pushed = shard.ring.try_push(std::move(decoded));
+  }
+  if (!pushed) {
     shard.stats.record_drop(size);
+    shard.obs_dropped->increment();
     return false;
   }
   shard.stats.record_accept();
@@ -78,13 +117,27 @@ bool ShardedCaptureEngine::offer(packet::Packet&& pkt, sim::Direction dir) {
 
 std::size_t ShardedCaptureEngine::consume_batch(Shard& shard,
                                                 std::size_t max_batch) {
+  auto& metrics = ShardedMetrics::get();
   std::size_t consumed = 0;
   TaggedPacket tagged;
-  while (consumed < max_batch && shard.ring.try_pop(tagged)) {
-    for (const auto& sink : shard.sinks) sink(tagged);
+  while (consumed < max_batch) {
+    bool popped;
+    {
+      obs::StageTimer timer(metrics.dequeue_ns);
+      popped = shard.ring.try_pop(tagged);
+      if (!popped) timer.cancel();  // empty-ring probes are not latency
+    }
+    if (!popped) break;
+    {
+      obs::StageTimer timer(metrics.dispatch_ns);
+      for (const auto& sink : shard.sinks) sink(tagged);
+    }
     ++consumed;
   }
-  if (consumed > 0) shard.stats.record_consumed(consumed);
+  if (consumed > 0) {
+    shard.stats.record_consumed(consumed);
+    shard.obs_consumed->add(consumed);
+  }
   return consumed;
 }
 

@@ -2,7 +2,24 @@
 
 #include <chrono>
 
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
+
 namespace campuslab::control {
+
+namespace {
+struct FastLoopMetrics {
+  obs::Counter& inspected =
+      obs::Registry::global().counter("fastloop.inspected");
+  obs::Counter& dropped = obs::Registry::global().counter("fastloop.dropped");
+  obs::Histogram& inspect_ns = obs::stage_histogram("fastloop_inspect");
+
+  static FastLoopMetrics& get() {
+    static FastLoopMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 Result<std::unique_ptr<FastLoop>> FastLoop::deploy(
     const DeploymentPackage& package) {
@@ -19,8 +36,11 @@ void FastLoop::install(sim::CampusNetwork& network) {
 
 bool FastLoop::inspect(const packet::Packet& pkt,
                        const packet::PacketView& view) {
+  auto& metrics = FastLoopMetrics::get();
+  obs::StageTimer stage_timer(metrics.inspect_ns);
   const auto t0 = std::chrono::steady_clock::now();
   ++stats_.inspected;
+  metrics.inspected.increment();
 
   const auto verdict =
       switch_->process(pkt, view, sim::Direction::kInbound);
@@ -59,6 +79,7 @@ bool FastLoop::inspect(const packet::Packet& pkt,
   const bool is_attack_pkt = packet::is_attack(pkt.label);
   if (drop) {
     ++stats_.dropped;
+    metrics.dropped.increment();
     (is_attack_pkt ? stats_.attack_dropped : stats_.benign_dropped)++;
   } else {
     (is_attack_pkt ? stats_.attack_passed : stats_.benign_passed)++;

@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "campuslab/obs/registry.h"
+
 namespace campuslab::control {
+
+namespace {
+// "Queue depth" for the manager is its slot occupancy: tasks armed now
+// (gauge) vs deployed-ever (counter) vs packets fanned out to tasks.
+struct TaskManagerMetrics {
+  obs::Counter& deployed =
+      obs::Registry::global().counter("taskmanager.deployed");
+  obs::Counter& inspected =
+      obs::Registry::global().counter("taskmanager.inspected");
+  obs::Gauge& active = obs::Registry::global().gauge("taskmanager.active_tasks");
+  obs::Gauge& slots = obs::Registry::global().gauge("taskmanager.slots");
+
+  static TaskManagerMetrics& get() {
+    static TaskManagerMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 dataplane::ResourceReport TaskManager::combined_with(
     const dataplane::ResourceReport& extra) const {
@@ -42,6 +62,10 @@ Result<std::size_t> TaskManager::deploy(const DeploymentPackage& package) {
   slot.resources = package.resources;
   slot.armed = true;
   slots_.push_back(std::move(slot));
+  auto& metrics = TaskManagerMetrics::get();
+  metrics.deployed.increment();
+  metrics.active.set(static_cast<std::int64_t>(active_tasks()));
+  metrics.slots.set(static_cast<std::int64_t>(slots_.size()));
   return slots_.size() - 1;
 }
 
@@ -49,10 +73,13 @@ Status TaskManager::undeploy(std::size_t slot) {
   if (slot >= slots_.size())
     return Error::make("not_found", "no such task slot");
   slots_[slot].armed = false;
+  TaskManagerMetrics::get().active.set(
+      static_cast<std::int64_t>(active_tasks()));
   return Status::success();
 }
 
 bool TaskManager::inspect(const packet::Packet& pkt) {
+  TaskManagerMetrics::get().inspected.increment();
   bool drop = false;
   // One decode shared by every armed task's fast loop.
   const packet::PacketView view(pkt);

@@ -1,6 +1,23 @@
 #include "campuslab/dataplane/switch.h"
 
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
+
 namespace campuslab::dataplane {
+
+namespace {
+struct SwitchMetrics {
+  obs::Counter& processed =
+      obs::Registry::global().counter("switch.processed");
+  obs::Counter& dropped = obs::Registry::global().counter("switch.dropped");
+  obs::Histogram& apply_ns = obs::stage_histogram("switch_apply");
+
+  static SwitchMetrics& get() {
+    static SwitchMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 SoftwareSwitch::SoftwareSwitch(
     std::unique_ptr<CompiledClassifier> program, Quantizer quantizer,
@@ -11,7 +28,10 @@ SoftwareSwitch::SoftwareSwitch(
 Verdict SoftwareSwitch::process(const packet::Packet& pkt,
                                 const packet::PacketView& view,
                                 sim::Direction dir) {
+  auto& metrics = SwitchMetrics::get();
+  obs::StageTimer stage_timer(metrics.apply_ns);
   ++stats_.processed;
+  metrics.processed.increment();
   const auto x = extractor_.extract(pkt, view, dir);
   if (x.empty()) {
     ++stats_.non_ip_passed;
@@ -31,7 +51,10 @@ bool SoftwareSwitch::filter(const packet::Packet& pkt,
   const auto verdict = process(pkt, view, dir);
   const bool drop = verdict.cls == policy.drop_class &&
                     verdict.confidence >= policy.min_confidence;
-  if (drop) ++stats_.dropped;
+  if (drop) {
+    ++stats_.dropped;
+    SwitchMetrics::get().dropped.increment();
+  }
   return drop;
 }
 

@@ -1,6 +1,7 @@
 #include "campuslab/features/flow_merge.h"
 
 #include <algorithm>
+#include <string>
 
 namespace campuslab::features {
 
@@ -22,8 +23,16 @@ ShardedFlowCollector::ShardedFlowCollector(std::size_t shards,
                                            capture::FlowMeterConfig config) {
   if (shards == 0) shards = 1;
   slots_.reserve(shards);
-  for (std::size_t i = 0; i < shards; ++i)
+  for (std::size_t i = 0; i < shards; ++i) {
     slots_.push_back(std::make_unique<Slot>(config));
+    // Live table-size gauge; approx_active_flows() is the any-thread
+    // mirror, so sampling mid-capture is race-free.
+    obs_handles_.push_back(obs::Registry::global().register_callback(
+        "flow.table_size", "shard=" + std::to_string(i),
+        [meter = &slots_.back()->meter] {
+          return static_cast<double>(meter->approx_active_flows());
+        }));
+  }
 }
 
 capture::FlowMeterStats ShardedFlowCollector::merged_meter_stats()

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "campuslab/capture/flow.h"
+#include "campuslab/obs/registry.h"
 
 namespace campuslab::features {
 
@@ -65,6 +66,9 @@ class ShardedFlowCollector {
   // unique_ptr: the sink closure captures the slot's address, so slots
   // must be address-stable.
   std::vector<std::unique_ptr<Slot>> slots_;
+  // Live per-shard table sizes (flow.table_size{shard=N}); declared
+  // after slots_ so the handles unregister before the meters die.
+  std::vector<obs::Registry::CallbackHandle> obs_handles_;
 };
 
 }  // namespace campuslab::features

@@ -1,6 +1,23 @@
 #include "campuslab/features/packet_dataset.h"
 
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
+
 namespace campuslab::features {
+
+namespace {
+struct DatasetMetrics {
+  obs::Counter& seen =
+      obs::Registry::global().counter("dataset.packets_seen");
+  obs::Counter& rows = obs::Registry::global().counter("dataset.rows");
+  obs::Histogram& append_ns = obs::stage_histogram("dataset_append");
+
+  static DatasetMetrics& get() {
+    static DatasetMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 PacketDatasetCollector::PacketDatasetCollector(PacketDatasetOptions options)
     : options_(options), extractor_(options.feature_config),
@@ -18,13 +35,17 @@ ml::Dataset PacketDatasetCollector::take() {
 void PacketDatasetCollector::offer(const packet::Packet& pkt,
                                    const packet::PacketView& view,
                                    sim::Direction dir) {
+  auto& metrics = DatasetMetrics::get();
+  obs::StageTimer stage_timer(metrics.append_ns);
   ++seen_;
+  metrics.seen.increment();
   const auto x = extractor_.extract(pkt, view, dir);
   if (x.empty() || dir != sim::Direction::kInbound) return;
   const double rate = is_attack(pkt.label) ? options_.attack_sample_rate
                                            : options_.benign_sample_rate;
   if (rate < 1.0 && !rng_.chance(rate)) return;
   dataset_.add(x, dataset_label(pkt.label, options_.labeling));
+  metrics.rows.increment();
 }
 
 }  // namespace campuslab::features

@@ -1,0 +1,109 @@
+// campuslab::obs — lock-cheap metric primitives.
+//
+// Three metric kinds, all safe to update concurrently from any thread:
+//
+//   Counter   — monotone event count (relaxed atomic add).
+//   Gauge     — last-written level (queue depth, active tasks).
+//   Histogram — log2-bucketed distribution with atomic buckets, built
+//               for nanosecond latencies: observe() is two relaxed
+//               fetch_adds, and a snapshot can answer p50/p99/p999 by
+//               interpolating inside the power-of-two bucket that holds
+//               the requested rank.
+//
+// Updates are memory_order_relaxed throughout: metrics observe the
+// pipeline, they do not synchronize it. A snapshot taken mid-update may
+// be a few events stale per thread but is never torn — every load is a
+// whole atomic word. (Contrast with capture::ConcurrentCaptureStats,
+// whose acquire/release snapshot invariants exist because callers make
+// control decisions from it; nothing should branch on obs values.)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace campuslab::obs {
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A level that goes up and down (depths, sizes, in-flight counts).
+/// Integer-valued: every wired gauge is a count of things.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time view of a Histogram; quantiles are computed here, off
+/// the hot path. Bucket b >= 1 holds values in [2^(b-1), 2^b); bucket 0
+/// holds exact zeros.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+
+  /// Rank-interpolated quantile, q in [0, 1]. The true value lies within
+  /// a factor of two of the estimate (the bucket width); for latency
+  /// tails that resolution is the point of log2 bucketing.
+  double quantile(double q) const noexcept;
+};
+
+/// Log2-bucketed histogram. observe() costs two relaxed fetch_adds and
+/// one bit_width — no branches on bucket boundaries, no locks, no
+/// allocation, so it is safe inside the per-packet path.
+class Histogram {
+ public:
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Bucket index: 0 for v == 0, else bit_width(v) (1..64).
+  static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Upper bound (exclusive) of bucket b; lower bound is bound(b-1).
+  static constexpr std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return b == 0 ? 1 : (b >= 64 ? ~std::uint64_t{0} : std::uint64_t{1} << b);
+  }
+
+  HistogramSnapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+      buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace campuslab::obs

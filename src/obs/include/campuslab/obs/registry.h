@@ -1,0 +1,144 @@
+// campuslab::obs — named metric registry and snapshot export.
+//
+// The registry is the pipeline's single export point: every stage
+// registers its counters/gauges/histograms here under a stable name
+// plus an optional label string ("shard=0", "stage=flow_update"), and
+// an operator samples the whole pipeline with one snapshot() call that
+// serializes to human-readable text or JSON.
+//
+// Concurrency model: registration is mutex-guarded and expected at
+// construction time only — call sites resolve their metrics once and
+// keep the returned reference. Metric objects are heap-allocated and
+// never erased, so a reference stays valid for the registry's lifetime
+// and updates through it take no lock. Metrics are identified by
+// (kind, name, labels); looking up the same triple twice returns the
+// same object, so two pipeline instances (e.g. two ShardedCaptureEngines
+// in one process) aggregate into one time series.
+//
+// Gauges owned by live objects (ring occupancy, flow-table sizes) are
+// exported via callbacks: register_callback() returns an RAII handle
+// whose destruction unregisters, so a snapshot never samples a dead
+// object. Callbacks that resolve to the same (name, labels) sum — the
+// per-shard flow tables of one collector stay distinct via labels while
+// two collectors' same-labelled tables aggregate, matching the
+// counter semantics above.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campuslab/obs/metrics.h"
+
+namespace campuslab::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One exported metric, flattened for presentation.
+struct MetricSample {
+  std::string name;
+  std::string labels;  // "k=v" or "k=v,k2=v2"; empty when unlabelled
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;           // counter / gauge / callback value
+  HistogramSnapshot histogram;  // kHistogram only
+};
+
+/// Point-in-time view of every registered metric, sorted by
+/// (name, labels) for stable output.
+struct RegistrySnapshot {
+  std::vector<MetricSample> metrics;
+
+  /// First metric matching name (and labels, when given); nullptr when
+  /// absent.
+  const MetricSample* find(std::string_view name,
+                           std::string_view labels = {}) const noexcept;
+  /// Counter/gauge value lookup with a default (histograms excluded).
+  double value_or(std::string_view name, std::string_view labels,
+                  double fallback) const noexcept;
+
+  /// One metric per line: `name{labels} value` for counters/gauges,
+  /// `name{labels} count=N p50=... p99=... p999=... mean=...` for
+  /// histograms.
+  std::string to_text() const;
+  /// {"metrics":[{"name":...,"labels":...,"kind":...,...},...]}
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the pipeline wires into. Never destroyed
+  /// (intentionally leaked via static storage), so references resolved
+  /// from it are valid for the life of the process.
+  static Registry& global();
+
+  /// Get-or-create. References remain valid for the registry's
+  /// lifetime; the same (name, labels) always yields the same object.
+  Counter& counter(std::string_view name, std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view labels = {});
+  Histogram& histogram(std::string_view name, std::string_view labels = {});
+
+  /// RAII registration of a sampled-at-snapshot gauge. Movable; the
+  /// surviving handle unregisters on destruction.
+  class CallbackHandle {
+   public:
+    CallbackHandle() noexcept = default;
+    CallbackHandle(CallbackHandle&& other) noexcept;
+    CallbackHandle& operator=(CallbackHandle&& other) noexcept;
+    CallbackHandle(const CallbackHandle&) = delete;
+    CallbackHandle& operator=(const CallbackHandle&) = delete;
+    ~CallbackHandle();
+
+   private:
+    friend class Registry;
+    CallbackHandle(Registry* owner, std::uint64_t id) noexcept
+        : owner_(owner), id_(id) {}
+    Registry* owner_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// The callback runs inside snapshot() under the registry mutex: keep
+  /// it cheap and lock-free (atomic loads, approximate sizes).
+  [[nodiscard]] CallbackHandle register_callback(std::string name,
+                                                 std::string labels,
+                                                 std::function<double()> fn);
+
+  RegistrySnapshot snapshot() const;
+
+  /// Number of registered metrics (callbacks included).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string name;
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Callback {
+    std::string name;
+    std::string labels;
+    std::function<double()> fn;
+  };
+
+  void unregister_callback(std::uint64_t id);
+  Entry& entry_for(MetricKind kind, std::string_view name,
+                   std::string_view labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // key: kind marker + name{labels}
+  std::map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace campuslab::obs

@@ -1,0 +1,103 @@
+// campuslab::obs — per-stage latency tracing.
+//
+// StageTimer is the RAII tracer dropped at every pipeline hop (tap
+// decode, ring enqueue/dequeue, FlowMeter update, dataset append,
+// DataStore ingest, FastLoop verdict, SoftwareSwitch apply). Each hop
+// records wall-clock nanoseconds into a log2 Histogram named
+// `pipeline_stage_ns{stage=<hop>}` in the global registry.
+//
+// Budget: the hot path must not pay two clock reads per packet per
+// stage. Two knobs keep the overhead inside the <= 3% T-CAP target:
+//
+//   * a process-global enable flag — when tracing is off a StageTimer
+//     is one relaxed atomic load;
+//   * thread-local sampling — when on, only every Nth construction on
+//     a given thread arms the timer (N a power of two, default 256).
+//     Sampled latency distributions are unbiased for quantiles as long
+//     as per-packet cost does not correlate with the sample phase,
+//     which a fixed stride over a mixed workload does not.
+//
+// Histogram counts are therefore ~1/N of event counts; event counts
+// come from the stage Counters, not from histograms.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "campuslab/obs/metrics.h"
+
+namespace campuslab::obs {
+
+namespace detail {
+/// The two knobs packed into ONE atomic so the per-timer fast path is a
+/// single relaxed load: kKnobOff when tracing is disabled, otherwise the
+/// sample mask (period - 1, a power of two minus one, always < kKnobOff).
+inline constexpr std::uint32_t kKnobOff = 0xFFFFFFFFu;
+inline std::atomic<std::uint32_t> g_trace_knob{255};   // period 256, enabled
+inline std::atomic<std::uint32_t> g_sample_mask{255};  // remembered mask
+}  // namespace detail
+
+inline void set_tracing_enabled(bool on) noexcept {
+  detail::g_trace_knob.store(
+      on ? detail::g_sample_mask.load(std::memory_order_relaxed)
+         : detail::kKnobOff,
+      std::memory_order_relaxed);
+}
+inline bool tracing_enabled() noexcept {
+  return detail::g_trace_knob.load(std::memory_order_relaxed) !=
+         detail::kKnobOff;
+}
+
+/// Sample every `period`th StageTimer per thread; rounded up to the
+/// next power of two. Period 1 arms every timer (tests, benches).
+void set_trace_sample_period(std::uint32_t period) noexcept;
+std::uint32_t trace_sample_period() noexcept;
+
+/// True when this construction should be traced (advances the
+/// thread-local phase).
+inline bool trace_sample_tick() noexcept {
+  const auto knob = detail::g_trace_knob.load(std::memory_order_relaxed);
+  if (knob == detail::kKnobOff) return false;
+  thread_local std::uint32_t tick = 0;
+  return (tick++ & knob) == 0;
+}
+
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The stage histogram `pipeline_stage_ns{stage=<name>}` in the global
+/// registry. Resolve once and keep the reference (registration takes a
+/// lock; observation does not).
+Histogram& stage_histogram(std::string_view stage);
+
+/// RAII stage tracer. Unarmed (disabled or off-phase) it costs two
+/// relaxed loads; armed it adds two steady_clock reads and one
+/// Histogram::observe.
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram& hist) noexcept
+      : hist_(trace_sample_tick() ? &hist : nullptr),
+        start_(hist_ ? monotonic_ns() : 0) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    if (hist_ != nullptr) hist_->observe(monotonic_ns() - start_);
+  }
+
+  /// Discard this measurement (e.g. the operation failed and its
+  /// latency would pollute the distribution).
+  void cancel() noexcept { hist_ = nullptr; }
+  bool armed() const noexcept { return hist_ != nullptr; }
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_;
+};
+
+}  // namespace campuslab::obs

@@ -1,0 +1,335 @@
+#include "campuslab/obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+#include "campuslab/obs/stage_timer.h"
+
+namespace campuslab::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot snap;
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[b];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile, 1-based.
+  const double rank = q * static_cast<double>(count - 1) + 1.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The rank falls in bucket b: interpolate linearly by rank position
+    // between the bucket's bounds.
+    const double lo = b == 0 ? 0.0
+                             : static_cast<double>(Histogram::bucket_upper(b - 1));
+    const double hi = static_cast<double>(Histogram::bucket_upper(b));
+    const double frac =
+        (rank - before) / static_cast<double>(buckets[b]);
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(Histogram::bucket_upper(kBuckets - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+  // Leaked on purpose: references handed out must outlive every static
+  // and thread that might still update a metric during shutdown.
+  static Registry* const instance = new Registry();
+  return *instance;
+}
+
+namespace {
+char kind_marker(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return 'c';
+    case MetricKind::kGauge: return 'g';
+    case MetricKind::kHistogram: return 'h';
+  }
+  return '?';
+}
+
+std::string make_key(MetricKind kind, std::string_view name,
+                     std::string_view labels) {
+  std::string key;
+  key.reserve(name.size() + labels.size() + 4);
+  key.push_back(kind_marker(kind));
+  key.push_back(':');
+  key.append(name);
+  key.push_back('{');
+  key.append(labels);
+  key.push_back('}');
+  return key;
+}
+}  // namespace
+
+Registry::Entry& Registry::entry_for(MetricKind kind, std::string_view name,
+                                     std::string_view labels) {
+  std::string key = make_key(kind, name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(std::move(key));
+  if (inserted) {
+    Entry& e = it->second;
+    e.kind = kind;
+    e.name.assign(name);
+    e.labels.assign(labels);
+    switch (kind) {
+      case MetricKind::kCounter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels) {
+  return *entry_for(MetricKind::kCounter, name, labels).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels) {
+  return *entry_for(MetricKind::kGauge, name, labels).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::string_view labels) {
+  return *entry_for(MetricKind::kHistogram, name, labels).histogram;
+}
+
+Registry::CallbackHandle Registry::register_callback(
+    std::string name, std::string labels, std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_callback_id_++;
+  callbacks_.emplace(
+      id, Callback{std::move(name), std::move(labels), std::move(fn)});
+  return CallbackHandle(this, id);
+}
+
+void Registry::unregister_callback(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(id);
+}
+
+Registry::CallbackHandle::CallbackHandle(CallbackHandle&& other) noexcept
+    : owner_(std::exchange(other.owner_, nullptr)),
+      id_(std::exchange(other.id_, 0)) {}
+
+Registry::CallbackHandle& Registry::CallbackHandle::operator=(
+    CallbackHandle&& other) noexcept {
+  if (this != &other) {
+    if (owner_ != nullptr) owner_->unregister_callback(id_);
+    owner_ = std::exchange(other.owner_, nullptr);
+    id_ = std::exchange(other.id_, 0);
+  }
+  return *this;
+}
+
+Registry::CallbackHandle::~CallbackHandle() {
+  if (owner_ != nullptr) owner_->unregister_callback(id_);
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(entries_.size() + callbacks_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::kGauge:
+        s.value = static_cast<double>(entry.gauge->value());
+        break;
+      case MetricKind::kHistogram:
+        s.histogram = entry.histogram->snapshot();
+        break;
+    }
+    snap.metrics.push_back(std::move(s));
+  }
+  // Callbacks export as gauges; same (name, labels) sums so several
+  // instances of one component aggregate like counters do.
+  std::map<std::pair<std::string, std::string>, double> callback_values;
+  for (const auto& [id, cb] : callbacks_) {
+    callback_values[{cb.name, cb.labels}] += cb.fn();
+  }
+  for (auto& [key, value] : callback_values) {
+    MetricSample s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = MetricKind::kGauge;
+    s.value = value;
+    snap.metrics.push_back(std::move(s));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size() + callbacks_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot export
+
+const MetricSample* RegistrySnapshot::find(
+    std::string_view name, std::string_view labels) const noexcept {
+  for (const MetricSample& m : metrics) {
+    if (m.name != name) continue;
+    if (!labels.empty() && m.labels != labels) continue;
+    return &m;
+  }
+  return nullptr;
+}
+
+double RegistrySnapshot::value_or(std::string_view name,
+                                  std::string_view labels,
+                                  double fallback) const noexcept {
+  const MetricSample* m = find(name, labels);
+  if (m == nullptr || m->kind == MetricKind::kHistogram) return fallback;
+  return m->value;
+}
+
+namespace {
+std::string format_double(double v) {
+  char buf[64];
+  // %g keeps integers short (counter values) and sub-ns noise bounded.
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+std::string RegistrySnapshot::to_text() const {
+  std::string out;
+  for (const MetricSample& m : metrics) {
+    out += m.name;
+    if (!m.labels.empty()) {
+      out += '{';
+      out += m.labels;
+      out += '}';
+    }
+    out += ' ';
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = m.histogram;
+      out += "count=" + format_double(static_cast<double>(h.count));
+      out += " p50=" + format_double(h.quantile(0.50));
+      out += " p99=" + format_double(h.quantile(0.99));
+      out += " p999=" + format_double(h.quantile(0.999));
+      out += " mean=" + format_double(h.mean());
+    } else {
+      out += format_double(m.value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& m : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, m.name);
+    out += "\",\"labels\":\"";
+    append_json_escaped(out, m.labels);
+    out += "\",\"kind\":\"";
+    switch (m.kind) {
+      case MetricKind::kCounter: out += "counter"; break;
+      case MetricKind::kGauge: out += "gauge"; break;
+      case MetricKind::kHistogram: out += "histogram"; break;
+    }
+    out += '"';
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = m.histogram;
+      out += ",\"count\":" + format_double(static_cast<double>(h.count));
+      out += ",\"sum\":" + format_double(static_cast<double>(h.sum));
+      out += ",\"mean\":" + format_double(h.mean());
+      out += ",\"p50\":" + format_double(h.quantile(0.50));
+      out += ",\"p99\":" + format_double(h.quantile(0.99));
+      out += ",\"p999\":" + format_double(h.quantile(0.999));
+    } else {
+      out += ",\"value\":" + format_double(m.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stage tracing
+
+void set_trace_sample_period(std::uint32_t period) noexcept {
+  if (period == 0) period = 1;
+  // Mask stays below kKnobOff so a mask value can never read as "off".
+  const std::uint32_t mask =
+      std::min(std::bit_ceil(period) - 1, 0x3FFFFFFFu);
+  detail::g_sample_mask.store(mask, std::memory_order_relaxed);
+  // Publish to the packed fast-path knob unless tracing is disabled.
+  if (detail::g_trace_knob.load(std::memory_order_relaxed) !=
+      detail::kKnobOff)
+    detail::g_trace_knob.store(mask, std::memory_order_relaxed);
+}
+
+std::uint32_t trace_sample_period() noexcept {
+  return detail::g_sample_mask.load(std::memory_order_relaxed) + 1;
+}
+
+Histogram& stage_histogram(std::string_view stage) {
+  std::string labels = "stage=";
+  labels.append(stage);
+  return Registry::global().histogram("pipeline_stage_ns", labels);
+}
+
+}  // namespace campuslab::obs

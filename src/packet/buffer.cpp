@@ -1,6 +1,9 @@
 #include "campuslab/packet/buffer.h"
 
 #include <new>
+#include <vector>
+
+#include "campuslab/obs/registry.h"
 
 namespace campuslab::packet {
 
@@ -96,7 +99,31 @@ BufferPoolStats BufferPool::stats() const {
 }
 
 BufferPool& default_buffer_pool() {
-  static BufferPool* pool = new BufferPool();  // leaked by design
+  static BufferPool* pool = [] {
+    auto* p = new BufferPool();  // leaked by design
+    // Export the shared pool's gauges. The handles leak with the pool
+    // (registered once, never unregistered) so a snapshot can always
+    // see hit/miss/outstanding without any pool-side bookkeeping.
+    auto expose = [p](const char* name,
+                      std::uint64_t BufferPoolStats::* field) {
+      static std::vector<obs::Registry::CallbackHandle>* handles =
+          new std::vector<obs::Registry::CallbackHandle>();
+      handles->push_back(obs::Registry::global().register_callback(
+          name, "", [p, field] {
+            return static_cast<double>(p->stats().*field);
+          }));
+    };
+    expose("bufferpool.pool_hits", &BufferPoolStats::pool_hits);
+    expose("bufferpool.pool_misses", &BufferPoolStats::pool_misses);
+    expose("bufferpool.heap_allocations",
+           &BufferPoolStats::heap_allocations);
+    expose("bufferpool.oversize_allocations",
+           &BufferPoolStats::oversize_allocations);
+    expose("bufferpool.outstanding", &BufferPoolStats::outstanding);
+    expose("bufferpool.high_water", &BufferPoolStats::high_water);
+    expose("bufferpool.freelist_size", &BufferPoolStats::freelist_size);
+    return p;
+  }();
   return *pool;
 }
 

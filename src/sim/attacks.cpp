@@ -29,14 +29,19 @@ void drive(CampusNetwork& net, Timestamp start, Duration duration,
   };
   auto st = std::make_shared<LoopState>(
       LoopState{Rng(seed), start + duration, rate_pps, std::move(emit_one)});
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [&net, st, step] {
+  // Self-passing continuation: every queued event owns a copy of the
+  // closure (which owns `st`), so once the loop window ends — or the
+  // event queue is destroyed — the last copy releases the state. A
+  // shared_ptr<function> whose body recaptures that same shared_ptr
+  // would form a permanent cycle and leak (it used to).
+  auto step = [&net, st](auto self) -> void {
     if (net.events().now() > st->end) return;
     st->emit(st->rng);
     net.events().schedule_in(
-        Duration::from_seconds(st->rng.exponential(1.0 / st->rate)), *step);
+        Duration::from_seconds(st->rng.exponential(1.0 / st->rate)),
+        [self] { self(self); });
   };
-  net.events().schedule_at(start, [step] { (*step)(); });
+  net.events().schedule_at(start, [step] { step(step); });
 }
 
 }  // namespace

@@ -117,8 +117,10 @@ void TrafficGenerator::transfer(App& app, Endpoint sender,
                                           payload_bytes, pace_bps});
   constexpr int kBurst = 8;
 
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, st, step, &app] {
+  // Self-passing continuation (see attacks.cpp drive()): each queued
+  // event owns its own copy of the closure, so the state dies with the
+  // last queued event instead of leaking in a shared_ptr cycle.
+  auto step = [this, st, &app](auto self) -> void {
     const Timestamp now = net_->events().now();
     for (int i = 0; i < kBurst && st->remaining > 0; ++i) {
       const std::size_t chunk =
@@ -146,7 +148,8 @@ void TrafficGenerator::transfer(App& app, Endpoint sender,
       const double burst_bits =
           static_cast<double>(kBurst) * (kMtuPayload + 54) * 8.0;
       net_->events().schedule_in(
-          Duration::from_seconds(burst_bits / st->pace_bps), *step);
+          Duration::from_seconds(burst_bits / st->pace_bps),
+          [self] { self(self); });
     } else {
       // FIN/ACK teardown.
       auto fin = PacketBuilder(net_->events().now())
@@ -162,7 +165,7 @@ void TrafficGenerator::transfer(App& app, Endpoint sender,
       emit(reverse(st->dir), std::move(finack), app);
     }
   };
-  net_->events().schedule_in(start_after, [step] { (*step)(); });
+  net_->events().schedule_in(start_after, [step] { step(step); });
 }
 
 // ----------------------------------------------------------------- web
@@ -364,8 +367,8 @@ void TrafficGenerator::ssh_session(App& app) {
     int remaining;
   };
   auto st = std::make_shared<KeyState>(KeyState{client, server, keystrokes});
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, st, step, &app, &rng] {
+  // Self-passing continuation (see attacks.cpp drive()) — no cycle.
+  auto step = [this, st, &app, &rng](auto self) -> void {
     if (st->remaining-- <= 0) {
       const Timestamp t = net_->events().now();
       emit(Direction::kInbound,
@@ -398,9 +401,10 @@ void TrafficGenerator::ssh_session(App& app) {
              .build(),
          app);
     net_->events().schedule_in(
-        Duration::from_seconds(rng.exponential(0.6)), *step);
+        Duration::from_seconds(rng.exponential(0.6)),
+        [self] { self(self); });
   };
-  net_->events().schedule_in(Duration::millis(50), [step] { (*step)(); });
+  net_->events().schedule_in(Duration::millis(50), [step] { step(step); });
 }
 
 // ----------------------------------------------------------------- mail

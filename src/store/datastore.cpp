@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
+
 namespace campuslab::store {
+
+namespace {
+struct StoreMetrics {
+  obs::Counter& ingested =
+      obs::Registry::global().counter("store.flows_ingested");
+  obs::Histogram& ingest_ns = obs::stage_histogram("store_ingest");
+
+  static StoreMetrics& get() {
+    static StoreMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 DataStore::DataStore(DataStoreConfig config) : config_(config) {}
 
@@ -33,6 +49,9 @@ void DataStore::index_flow(Segment& seg, const StoredFlow& stored,
 }
 
 std::uint64_t DataStore::ingest(const capture::FlowRecord& flow) {
+  auto& metrics = StoreMetrics::get();
+  obs::StageTimer stage_timer(metrics.ingest_ns);
+  metrics.ingested.increment();
   auto& seg = open_segment();
   StoredFlow stored{next_id_++, flow};
 

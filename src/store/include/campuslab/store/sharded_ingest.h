@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "campuslab/obs/registry.h"
 #include "campuslab/store/datastore.h"
 
 namespace campuslab::store {
@@ -56,6 +57,9 @@ class ShardedFlowIngester {
   std::vector<std::unique_ptr<Buffer>> buffers_;
   std::atomic<std::uint64_t> pending_{0};
   std::uint64_t merged_total_ = 0;
+  // Live backlog gauge (store.ingest_pending); several ingesters in one
+  // process sum, per the registry's callback semantics.
+  obs::Registry::CallbackHandle obs_pending_;
 };
 
 }  // namespace campuslab::store

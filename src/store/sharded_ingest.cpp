@@ -11,6 +11,9 @@ ShardedFlowIngester::ShardedFlowIngester(std::size_t shards) {
   buffers_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i)
     buffers_.push_back(std::make_unique<Buffer>());
+  obs_pending_ = obs::Registry::global().register_callback(
+      "store.ingest_pending", "",
+      [this] { return static_cast<double>(pending()); });
 }
 
 void ShardedFlowIngester::ingest(std::size_t shard,
@@ -38,6 +41,7 @@ std::uint64_t ShardedFlowIngester::merge_into(DataStore& store) {
   for (const auto& flow : merged) store.ingest(flow);
   pending_.fetch_sub(merged.size(), std::memory_order_release);
   merged_total_ += merged.size();
+  obs::Registry::global().counter("store.merged_flows").add(merged.size());
   return merged.size();
 }
 

@@ -1,6 +1,23 @@
 #include "campuslab/testbed/canary.h"
 
+#include "campuslab/obs/registry.h"
+
 namespace campuslab::testbed {
+
+namespace {
+struct CanaryMetrics {
+  obs::Counter& observed =
+      obs::Registry::global().counter("canary.observed");
+  obs::Counter& would_drop =
+      obs::Registry::global().counter("canary.would_drop");
+  obs::Counter& passed = obs::Registry::global().counter("canary.passed");
+
+  static CanaryMetrics& get() {
+    static CanaryMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 Result<std::unique_ptr<CanaryDeployment>> CanaryDeployment::create(
     const control::DeploymentPackage& package) {
@@ -20,14 +37,18 @@ void CanaryDeployment::observe(const packet::Packet& pkt,
                                const packet::PacketView& view,
                                sim::Direction dir) {
   if (dir != sim::Direction::kInbound) return;
+  auto& metrics = CanaryMetrics::get();
   ++stats_.observed;
+  metrics.observed.increment();
   const auto verdict = switch_->process(pkt, view, dir);
   const bool would_drop = verdict.cls == 1 &&
                           verdict.confidence >= task_.confidence_threshold;
   const bool attack = packet::is_attack(pkt.label);
   if (would_drop) {
+    metrics.would_drop.increment();
     (attack ? stats_.would_drop_attack : stats_.would_drop_benign)++;
   } else {
+    metrics.passed.increment();
     (attack ? stats_.passed_attack : stats_.passed_benign)++;
   }
 }
