@@ -24,6 +24,7 @@
 #include "campuslab/obs/registry.h"
 #include "campuslab/obs/stage_timer.h"
 #include "campuslab/packet/buffer.h"
+#include "campuslab/resilience/fault.h"
 #include "campuslab/util/rng.h"
 
 using namespace campuslab;
@@ -471,6 +472,177 @@ void print_obs_overhead_table() {
             "pay two clock reads only on the sampled 1/256 of packets.");
 }
 
+/// Fault recovery at the 4-shard knee configuration: a worker death
+/// (sink exception) injected every 100 000th dispatch, supervisor
+/// armed. The run must complete with restarts == injected deaths,
+/// nothing unaccounted, and the restart tail visible from the
+/// resilience.restart_ns histogram. Then the bill for the always-on
+/// machinery: armed-but-idle injector vs disarmed (chaos-mode tax,
+/// informational) and the disarmed per-packet check the shipped binary
+/// pays permanently (gated <= 1% of the pipeline budget).
+void print_fault_recovery_table() {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kCount = 400'000;
+  constexpr std::uint64_t kDeathEvery = 100'000;
+  auto frames = make_imix(4096, 23);
+
+  std::puts("\n=== T-CAP: fault recovery (4 shards, worker death every "
+            "100k dispatches) ===");
+
+  const auto snap_before = obs::Registry::global().snapshot();
+  const auto* hist_before = snap_before.find("resilience.restart_ns");
+
+  resilience::FaultPlan plan;
+  plan.seed = resilience::FaultPlan::seed_from_env(1);
+  plan.faults.push_back({.site = "capture.sink_dispatch",
+                         .kind = resilience::FaultKind::kThrow,
+                         .every_n = kDeathEvery});
+  std::uint64_t fires = 0, restarts = 0, quarantines = 0;
+  std::vector<std::uint64_t> delivered_per_shard(kShards, 0);
+  capture::CaptureStats stats;
+  {
+    resilience::FaultScope scope(plan);
+    capture::ShardedCaptureConfig cfg;
+    cfg.shards = kShards;
+    cfg.ring_capacity = 1 << 14;
+    cfg.max_worker_restarts = 64;
+    capture::ShardedCaptureEngine engine(cfg);
+    engine.add_sink_factory([&](std::size_t s) {
+      return [&delivered_per_shard, s](const capture::TaggedPacket&) {
+        ++delivered_per_shard[s];
+      };
+    });
+    engine.start();
+    for (std::size_t i = 0; i < kCount;) {
+      if (engine.offer(frames[i & 4095], sim::Direction::kInbound)) ++i;
+    }
+    engine.stop();
+    fires = scope.injector().total_fires();
+    restarts = engine.worker_restarts();
+    quarantines = engine.quarantined_shards();
+    stats = engine.stats();
+  }
+
+  const auto snap_after = obs::Registry::global().snapshot();
+  const auto* hist_after = snap_after.find("resilience.restart_ns");
+  obs::HistogramSnapshot restart{};
+  if (hist_after != nullptr) {
+    restart = hist_before != nullptr
+                  ? hist_after->histogram.since(hist_before->histogram)
+                  : hist_after->histogram;
+  }
+
+  std::uint64_t delivered = 0;
+  for (const auto d : delivered_per_shard) delivered += d;
+  const std::uint64_t lost =
+      stats.accepted - stats.consumed - stats.abandoned;
+
+  std::printf("injected worker deaths: %" PRIu64
+              " (every %" PRIu64 "th dispatch, seed %" PRIu64 ")\n",
+              fires, kDeathEvery, plan.seed);
+  std::printf("supervisor restarts: %" PRIu64 " (%s injected), "
+              "quarantines: %" PRIu64 "\n",
+              restarts, restarts == fires ? "==" : "MISMATCH vs",
+              quarantines);
+  std::printf("time-to-restart: p50=%.0f ns  p99=%.0f ns  (n=%" PRIu64
+              ")\n",
+              restart.quantile(0.50), restart.quantile(0.99),
+              restart.count);
+  std::printf("accounting: offered=%" PRIu64 " (retry-on-full) "
+              "accepted=%" PRIu64 " consumed=%" PRIu64 " abandoned=%"
+              PRIu64 "\n",
+              stats.offered, stats.accepted, stats.consumed,
+              stats.abandoned);
+  std::printf("packets lost per death: %.2f (unaccounted: %" PRIu64
+              "); undelivered in-flight per death: %.2f (counted "
+              "consumed)\n",
+              fires > 0 ? static_cast<double>(lost) /
+                              static_cast<double>(fires)
+                        : 0.0,
+              lost,
+              fires > 0 ? static_cast<double>(stats.consumed - delivered) /
+                              static_cast<double>(fires)
+                        : 0.0);
+
+  // --- the no-fault bill -------------------------------------------
+  // Same interleaved min-of-7 discipline as the obs table: the full
+  // single-threaded pipeline (offer + hash + ring + sinks + flow
+  // meter), injector disarmed vs armed with a plan that never fires.
+  const auto run_once = [&frames]() -> double {
+    capture::ShardedCaptureConfig cfg;
+    cfg.shards = kShards;
+    cfg.ring_capacity = 1 << 14;
+    capture::ShardedCaptureEngine engine(cfg);
+    std::vector<std::unique_ptr<capture::FlowMeter>> meters;
+    for (std::size_t s = 0; s < kShards; ++s)
+      meters.push_back(std::make_unique<capture::FlowMeter>());
+    engine.add_sink_factory([&](std::size_t s) {
+      return [meter = meters[s].get()](const capture::TaggedPacket& t) {
+        meter->offer(t.pkt, t.view, t.dir);
+      };
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kCount; ++i) {
+      engine.offer(frames[i & 4095], sim::Direction::kInbound);
+      if ((i & 63) == 0) engine.drain();
+    }
+    engine.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count()) /
+           static_cast<double>(kCount);
+  };
+  resilience::FaultPlan idle;
+  idle.seed = 1;
+  idle.faults.push_back({.site = "capture.sink_dispatch",
+                         .kind = resilience::FaultKind::kThrow,
+                         .every_n = 1'000'000'000'000ull});
+  idle.faults.push_back({.site = "flow.update",
+                         .kind = resilience::FaultKind::kThrow,
+                         .every_n = 1'000'000'000'000ull});
+  run_once();  // warm pool and caches
+  double off_ns = 1e18, on_ns = 1e18;
+  for (int r = 0; r < 7; ++r) {
+    off_ns = std::min(off_ns, run_once());
+    {
+      resilience::FaultScope scope(idle);
+      on_ns = std::min(on_ns, run_once());
+    }
+  }
+
+  // The shipped binary runs disarmed: its permanent cost is the null
+  // check at each injection point. Calibrate that check directly and
+  // express it against the measured per-packet pipeline budget (two
+  // hot-path sites: sink dispatch + flow update).
+  constexpr std::size_t kProbe = 20'000'000;
+  const auto p0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kProbe; ++i)
+    resilience::fault_point("capture.sink_dispatch");
+  const auto p1 = std::chrono::steady_clock::now();
+  const double check_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(p1 - p0)
+              .count()) /
+      static_cast<double>(kProbe);
+  const double disarmed_pct = 2.0 * check_ns / off_ns * 100.0;
+  const double armed_pct = (on_ns - off_ns) / off_ns * 100.0;
+
+  std::puts("--- overhead when no faults fire (interleaved min of 7) ---");
+  std::printf("injector disarmed: %7.1f ns/pkt (%.2f Mpps)\n", off_ns,
+              1e3 / off_ns);
+  std::printf("armed, zero fires: %7.1f ns/pkt (%+.2f%% — chaos-mode "
+              "tax, paid only under an installed plan)\n",
+              on_ns, armed_pct);
+  std::printf("disarmed check: %.2f ns/site x 2 sites = %+.2f%% of the "
+              "pipeline (target <= 1%%) — %s\n",
+              check_ns, disarmed_pct,
+              disarmed_pct <= 1.0 ? "OK" : "REGRESSION");
+  std::puts("shape: recovery is the catch-to-repoll hop (sub-us); the "
+            "in-flight frame of each death is consumed-not-delivered, "
+            "and nothing leaves the accounting identities.");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -483,5 +655,6 @@ int main(int argc, char** argv) {
   print_allocation_table();
   print_loss_table();
   print_sharded_loss_table();
+  print_fault_recovery_table();
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "campuslab/obs/registry.h"
 #include "campuslab/obs/stage_timer.h"
+#include "campuslab/resilience/fault.h"
 
 namespace campuslab::capture {
 
@@ -57,6 +58,7 @@ void FlowMeter::offer(const packet::Packet& pkt, const PacketView& view,
                       sim::Direction dir) {
   auto& metrics = FlowMetrics::get();
   obs::StageTimer stage_timer(metrics.update_ns);
+  resilience::fault_point("flow.update");
   ++stats_.packets_seen;
   if (!view.valid() || !view.is_ipv4()) {
     ++stats_.non_ip_packets;

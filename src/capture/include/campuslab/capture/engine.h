@@ -38,6 +38,13 @@ struct CaptureStats {
   std::uint64_t accepted = 0;
   std::uint64_t dropped = 0;   // ring-full losses
   std::uint64_t consumed = 0;
+  /// Of `consumed`, frames consumed during the shutdown drain (after
+  /// stop was requested). drained_on_stop <= consumed.
+  std::uint64_t drained_on_stop = 0;
+  /// Accepted frames discarded unconsumed: the bounded shutdown drain
+  /// hit its deadline (wedged sink) or the shard was quarantined.
+  /// Quiesced identity: accepted == consumed + abandoned.
+  std::uint64_t abandoned = 0;
   std::uint64_t offered_bytes = 0;
   std::uint64_t dropped_bytes = 0;
 
@@ -58,6 +65,8 @@ struct CaptureStats {
     accepted += o.accepted;
     dropped += o.dropped;
     consumed += o.consumed;
+    drained_on_stop += o.drained_on_stop;
+    abandoned += o.abandoned;
     offered_bytes += o.offered_bytes;
     dropped_bytes += o.dropped_bytes;
     return *this;
@@ -94,12 +103,27 @@ class ConcurrentCaptureStats {
   void record_consumed(std::uint64_t n) noexcept {
     consumed_.fetch_add(n, std::memory_order_release);
   }
+  /// Shutdown-drain accounting (consumer side): `drained` frames were
+  /// consumed after stop was requested (a sub-count of consumed);
+  /// `abandoned` frames were discarded unconsumed (deadline expiry or
+  /// shard quarantine).
+  void record_drained(std::uint64_t n) noexcept {
+    drained_.fetch_add(n, std::memory_order_release);
+  }
+  void record_abandoned(std::uint64_t n) noexcept {
+    abandoned_.fetch_add(n, std::memory_order_release);
+  }
 
   CaptureStats snapshot() const noexcept {
     CaptureStats s;
     // Order matters: consumed before accepted/dropped before offered,
     // so the documented inequalities hold for live samples.
+    // drained is recorded after the consumed frames it sub-counts, so
+    // read it before consumed (effect before cause keeps drained <=
+    // consumed in live samples).
+    s.drained_on_stop = drained_.load(std::memory_order_acquire);
     s.consumed = consumed_.load(std::memory_order_acquire);
+    s.abandoned = abandoned_.load(std::memory_order_acquire);
     s.accepted = accepted_.load(std::memory_order_acquire);
     s.dropped = dropped_.load(std::memory_order_acquire);
     s.dropped_bytes = dropped_bytes_.load(std::memory_order_acquire);
@@ -115,6 +139,8 @@ class ConcurrentCaptureStats {
   std::atomic<std::uint64_t> offered_bytes_{0};
   std::atomic<std::uint64_t> dropped_bytes_{0};
   alignas(64) std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
 };
 
 class CaptureEngine {

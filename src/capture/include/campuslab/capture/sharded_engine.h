@@ -29,6 +29,20 @@
 //   - Without start(), poll_shard()/drain() consume on the caller's
 //     thread (simulation mode — used by the determinism regression).
 //   - stats()/shard_stats() are safe from any thread, any time.
+//
+// Supervision (resilience): each worker thread runs under an in-thread
+// supervisor. An exception escaping a sink does not kill the process —
+// the frame in flight still counts as consumed, the death is recorded
+// (resilience.worker_restarts_total{shard=N}), and the worker restarts
+// with its ring intact. Past `max_worker_restarts` the shard is
+// quarantined: its remaining ring contents are abandoned (counted) and
+// the producer reroutes its 5-tuple slice to surviving shards
+// (resilience.rerouted_packets_total) — conversations that straddle the
+// quarantine boundary may export as two flow records, which the
+// deterministic merge tolerates. stop() drains each ring under
+// `stop_drain_deadline` so a wedged sink cannot hang shutdown; frames
+// past the deadline are abandoned, never silently lost:
+//     offered == accepted + dropped,  accepted == consumed + abandoned.
 #pragma once
 
 #include <atomic>
@@ -40,6 +54,7 @@
 
 #include "campuslab/capture/engine.h"
 #include "campuslab/obs/registry.h"
+#include "campuslab/util/time.h"
 
 namespace campuslab::capture {
 
@@ -47,6 +62,14 @@ struct ShardedCaptureConfig {
   std::size_t shards = 4;
   std::size_t ring_capacity = 1 << 14;  // per shard
   std::size_t poll_batch = 256;         // worker drain granularity
+  /// Worker deaths (escaped sink exceptions) tolerated per shard before
+  /// the supervisor quarantines it and reroutes its traffic slice.
+  std::size_t max_worker_restarts = 8;
+  /// Wall-clock bound on the per-shard shutdown drain. A wedged or
+  /// pathologically slow sink cannot hang stop() past this; frames
+  /// still in the ring at the deadline are abandoned (counted).
+  /// Zero means drain to empty, unbounded.
+  Duration stop_drain_deadline = Duration::millis(500);
 };
 
 class ShardedCaptureEngine {
@@ -80,7 +103,10 @@ class ShardedCaptureEngine {
 
   /// Producer side: hash-spread one frame. Returns false when the
   /// owning shard's ring was full and the frame was dropped (counted
-  /// against that shard).
+  /// against that shard). Frames whose home shard is quarantined are
+  /// rerouted to the next live shard (deterministic walk, counted in
+  /// rerouted_packets()); if every shard is quarantined the frame is
+  /// dropped against its home shard.
   bool offer(const packet::Packet& pkt, sim::Direction dir);
   bool offer(packet::Packet&& pkt, sim::Direction dir);
 
@@ -88,12 +114,23 @@ class ShardedCaptureEngine {
   /// dispatch to their shard's sinks until stop().
   void start();
 
-  /// Signal workers, let each drain its ring to empty (drain-on-
-  /// shutdown), and join. Idempotent. After stop(), for every shard:
-  /// accepted == consumed.
+  /// Signal workers, let each drain its ring (drain-on-shutdown,
+  /// bounded by stop_drain_deadline), and join. Idempotent. After
+  /// stop(), for every shard: accepted == consumed + abandoned.
   void stop();
 
   bool running() const noexcept { return running_; }
+
+  /// Supervisor accounting: worker deaths recovered by restart (total /
+  /// per shard), shards quarantined past the restart budget, and frames
+  /// rerouted away from quarantined shards by the producer.
+  std::uint64_t worker_restarts() const noexcept;
+  std::uint64_t worker_restarts(std::size_t shard) const noexcept;
+  bool shard_quarantined(std::size_t shard) const noexcept;
+  std::size_t quarantined_shards() const noexcept;
+  std::uint64_t rerouted_packets() const noexcept {
+    return rerouted_.load(std::memory_order_relaxed);
+  }
 
   /// Simulation mode (no workers): consume up to `max_batch` frames of
   /// one shard on the calling thread.
@@ -117,15 +154,25 @@ class ShardedCaptureEngine {
     std::vector<Sink> sinks;
     ConcurrentCaptureStats stats;
     std::thread worker;
+    // Quarantined shards accept no new frames (producer reroutes) and
+    // their workers have exited. Set with release by the worker, read
+    // with acquire by the producer.
+    std::atomic<bool> quarantined{false};
+    std::atomic<std::uint64_t> restarts{0};
     // Per-shard obs mirrors (labels "shard=N"), resolved at engine
     // construction so the packet path never touches the registry lock.
     obs::Counter* obs_offered = nullptr;
     obs::Counter* obs_dropped = nullptr;
     obs::Counter* obs_consumed = nullptr;
+    obs::Counter* obs_restarts = nullptr;
+    obs::Counter* obs_abandoned = nullptr;
   };
 
   std::size_t consume_batch(Shard& shard, std::size_t max_batch);
   void worker_loop(Shard& shard);
+  void run_worker(Shard& shard);
+  void abandon_ring(Shard& shard);
+  void quarantine(Shard& shard);
 
   ShardedCaptureConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -133,6 +180,7 @@ class ShardedCaptureEngine {
   // handles unregister before shards_ dies.
   std::vector<obs::Registry::CallbackHandle> obs_handles_;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> rerouted_{0};
   bool running_ = false;
 };
 

@@ -41,6 +41,12 @@ bool FastLoop::inspect(const packet::Packet& pkt,
   const auto t0 = std::chrono::steady_clock::now();
   ++stats_.inspected;
   metrics.inspected.increment();
+  // Never true — the verdict path is the protected tier — but asking
+  // routes every verdict through the shed accounting, which is how the
+  // chaos suite proves "zero verdicts shed" instead of assuming it.
+  if (degradation_ != nullptr)
+    (void)degradation_->should_shed(
+        resilience::ShedClass::kFastLoopVerdict);
 
   const auto verdict =
       switch_->process(pkt, view, sim::Direction::kInbound);

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "campuslab/control/development_loop.h"
+#include "campuslab/resilience/health.h"
 #include "campuslab/sim/campus.h"
 #include "campuslab/util/stats.h"
 
@@ -64,6 +65,14 @@ class FastLoop {
     return inspect(pkt, packet::PacketView(pkt));
   }
 
+  /// Optional degradation hook: every inspect() asks the controller
+  /// about kFastLoopVerdict — which is structurally never shed — so the
+  /// protected path shows up in the same shed accounting as the tiers
+  /// that do yield. Caller keeps ownership; pass nullptr to detach.
+  void set_degradation(resilience::DegradationController* controller) {
+    degradation_ = controller;
+  }
+
   const MitigationStats& stats() const noexcept { return stats_; }
   /// Wall-clock nanoseconds per inspected packet.
   const RunningStats& latency_ns() const noexcept { return latency_ns_; }
@@ -80,6 +89,7 @@ class FastLoop {
   std::unique_ptr<dataplane::SoftwareSwitch> switch_;
   MitigationStats stats_;
   RunningStats latency_ns_;
+  resilience::DegradationController* degradation_ = nullptr;
   // Token bucket for kRateLimit.
   double tokens_ = 0.0;
   Timestamp last_refill_{};

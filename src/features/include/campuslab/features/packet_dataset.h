@@ -14,6 +14,7 @@
 #include "campuslab/features/dataset_builder.h"
 #include "campuslab/features/packet_features.h"
 #include "campuslab/ml/dataset.h"
+#include "campuslab/resilience/health.h"
 
 namespace campuslab::features {
 
@@ -52,12 +53,22 @@ class PacketDatasetCollector {
     return dataset_.n_rows();
   }
 
+  /// Optional degradation hook: when set, offer() consults
+  /// should_shed(kDatasetRow) after feature extraction (extractor state
+  /// must track every packet regardless) and skips the row append while
+  /// the pipeline is Degraded or worse — training rows are the first
+  /// tier shed. Caller keeps ownership; pass nullptr to detach.
+  void set_degradation(resilience::DegradationController* controller) {
+    degradation_ = controller;
+  }
+
  private:
   PacketDatasetOptions options_;
   StatefulFeatureExtractor extractor_;
   ml::Dataset dataset_;
   Rng rng_;
   std::uint64_t seen_ = 0;
+  resilience::DegradationController* degradation_ = nullptr;
 };
 
 }  // namespace campuslab::features

@@ -2,6 +2,7 @@
 
 #include "campuslab/obs/registry.h"
 #include "campuslab/obs/stage_timer.h"
+#include "campuslab/resilience/fault.h"
 
 namespace campuslab::features {
 
@@ -37,10 +38,17 @@ void PacketDatasetCollector::offer(const packet::Packet& pkt,
                                    sim::Direction dir) {
   auto& metrics = DatasetMetrics::get();
   obs::StageTimer stage_timer(metrics.append_ns);
+  resilience::fault_point("dataset.append");
   ++seen_;
   metrics.seen.increment();
+  // Extractor state must advance for EVERY packet — shedding below this
+  // point skips only the row, never the state update, or surviving rows
+  // would carry wrong inter-arrival/flow features.
   const auto x = extractor_.extract(pkt, view, dir);
   if (x.empty() || dir != sim::Direction::kInbound) return;
+  if (degradation_ != nullptr &&
+      degradation_->should_shed(resilience::ShedClass::kDatasetRow))
+    return;
   const double rate = is_attack(pkt.label) ? options_.attack_sample_rate
                                            : options_.benign_sample_rate;
   if (rate < 1.0 && !rng_.chance(rate)) return;

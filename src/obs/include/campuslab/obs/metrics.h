@@ -77,6 +77,21 @@ struct HistogramSnapshot {
   /// a factor of two of the estimate (the bucket width); for latency
   /// tails that resolution is the point of log2 bucketing.
   double quantile(double q) const noexcept;
+
+  /// Windowed view: the observations recorded between `earlier` and
+  /// this snapshot (element-wise difference). Histograms are cumulative
+  /// and monotone, so diffing two snapshots of the SAME histogram is
+  /// exact; quantiles of the delta answer "p99 over the last window",
+  /// which is what health monitoring needs (a since-boot p99 never
+  /// recovers after one storm).
+  HistogramSnapshot since(const HistogramSnapshot& earlier) const noexcept {
+    HistogramSnapshot d;
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      d.buckets[b] = buckets[b] - earlier.buckets[b];
+    d.count = count - earlier.count;
+    d.sum = sum - earlier.sum;
+    return d;
+  }
 };
 
 /// Log2-bucketed histogram. observe() costs two relaxed fetch_adds and

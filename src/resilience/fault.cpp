@@ -1,0 +1,147 @@
+#include "campuslab/resilience/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "campuslab/obs/registry.h"
+#include "campuslab/util/rng.h"
+
+namespace campuslab::resilience {
+
+namespace detail {
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+void apply_fault(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kThrow:
+      throw FaultInjected(spec.site);
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(spec.delay.count_nanos()));
+      return;
+    case FaultKind::kFail:
+      return;  // failure channel handled by fault_point_status
+  }
+}
+}  // namespace detail
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kFail:
+      return "fail";
+    case FaultKind::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+std::uint64_t FaultPlan::seed_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv("CAMPUSLAB_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const auto v = std::strtoull(env, &end, 10);
+  return end != env ? v : fallback;
+}
+
+namespace {
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  auto& registry = obs::Registry::global();
+  sites_.reserve(plan_.faults.size());
+  for (const auto& spec : plan_.faults) {
+    auto site = std::make_unique<Site>();
+    site->spec = spec;
+    site->decision_salt = plan_.seed ^ fnv1a(spec.site);
+    site->fire_counter = &registry.counter("resilience.faults_injected_total",
+                                           "site=" + spec.site);
+    by_site_[spec.site].push_back(sites_.size());
+    sites_.push_back(std::move(site));
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  // Never leave a dangling global: disarm if this injector is current.
+  FaultInjector* self = this;
+  detail::g_injector.compare_exchange_strong(self, nullptr,
+                                             std::memory_order_acq_rel);
+}
+
+void FaultInjector::install(FaultInjector* injector) noexcept {
+  detail::g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* FaultInjector::current() noexcept {
+  return detail::g_injector.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::decide(Site& site, std::uint64_t hit_index) noexcept {
+  const auto& spec = site.spec;
+  if (hit_index < spec.skip_first) return false;
+  bool fire;
+  if (spec.every_n > 0) {
+    fire = (hit_index - spec.skip_first + 1) % spec.every_n == 0;
+  } else {
+    // Stateless Bernoulli: the decision for hit k is a pure function of
+    // (seed, site, k), so it is reproducible under any thread schedule.
+    SplitMix64 mix(site.decision_salt ^ (hit_index * 0x9E3779B97F4A7C15ull));
+    const double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+    fire = u < spec.probability;
+  }
+  if (!fire) return false;
+  const auto prev = site.fires.fetch_add(1, std::memory_order_relaxed);
+  if (prev >= spec.max_fires) {
+    site.fires.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+const FaultSpec* FaultInjector::evaluate(std::string_view site) noexcept {
+  const auto it = by_site_.find(site);
+  if (it == by_site_.end()) return nullptr;
+  // Every spec at the site sees every hit (so their phases never drift);
+  // the first one that fires supplies the action.
+  const FaultSpec* fired = nullptr;
+  for (const auto idx : it->second) {
+    Site& s = *sites_[idx];
+    const auto hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+    if (decide(s, hit)) {
+      s.fire_counter->increment();
+      total_fires_.fetch_add(1, std::memory_order_relaxed);
+      if (fired == nullptr) fired = &s.spec;
+    }
+  }
+  return fired;
+}
+
+std::uint64_t FaultInjector::fires(std::string_view site) const noexcept {
+  const auto it = by_site_.find(site);
+  if (it == by_site_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto idx : it->second)
+    total += sites_[idx]->fires.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const noexcept {
+  const auto it = by_site_.find(site);
+  if (it == by_site_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto idx : it->second)
+    total += sites_[idx]->hits.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace campuslab::resilience

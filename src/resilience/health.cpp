@@ -1,0 +1,145 @@
+#include "campuslab/resilience/health.h"
+
+#include "campuslab/obs/registry.h"
+#include "campuslab/obs/stage_timer.h"
+
+namespace campuslab::resilience {
+
+std::string_view to_string(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kShedding:
+      return "shedding";
+  }
+  return "?";
+}
+
+std::string_view to_string(ShedClass c) noexcept {
+  switch (c) {
+    case ShedClass::kDatasetRow:
+      return "dataset_row";
+    case ShedClass::kArchiveWrite:
+      return "archive_write";
+    case ShedClass::kFastLoopVerdict:
+      return "fastloop_verdict";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+  auto& registry = obs::Registry::global();
+  obs_state_ = &registry.gauge("resilience.health_state");
+  obs_state_->set(0);
+  obs_transitions_[0] =
+      &registry.counter("resilience.health_transitions_total", "to=healthy");
+  obs_transitions_[1] =
+      &registry.counter("resilience.health_transitions_total", "to=degraded");
+  obs_transitions_[2] =
+      &registry.counter("resilience.health_transitions_total", "to=shedding");
+}
+
+int HealthMonitor::severity(double occupancy, std::uint64_t p99,
+                            double margin) const noexcept {
+  int sev = 0;
+  if (occupancy >= config_.degraded_occupancy - margin) sev = 1;
+  if (occupancy >= config_.shedding_occupancy - margin) sev = 2;
+  // Latency driver: thresholds are absolute, margin applies as a
+  // fraction so hysteresis behaves the same way for both signals.
+  if (config_.degraded_p99_ns > 0 &&
+      static_cast<double>(p99) >=
+          static_cast<double>(config_.degraded_p99_ns) * (1.0 - margin))
+    sev = sev < 1 ? 1 : sev;
+  if (config_.shedding_p99_ns > 0 &&
+      static_cast<double>(p99) >=
+          static_cast<double>(config_.shedding_p99_ns) * (1.0 - margin))
+    sev = 2;
+  return sev;
+}
+
+HealthState HealthMonitor::update(double ring_occupancy,
+                                  std::uint64_t stage_p99_ns) noexcept {
+  const int current = state_.load(std::memory_order_relaxed);
+  const int entry = severity(ring_occupancy, stage_p99_ns, 0.0);
+  int next = current;
+  if (entry > current) {
+    // Escalate immediately — pressure does not wait for a debounce.
+    next = entry;
+    calm_streak_ = 0;
+  } else {
+    // De-escalate one tier only after `recover_samples` consecutive
+    // samples calm even under the widened (hysteresis) thresholds.
+    const int exit = severity(ring_occupancy, stage_p99_ns,
+                              config_.recover_margin);
+    if (exit < current) {
+      if (++calm_streak_ >= config_.recover_samples) {
+        next = current - 1;
+        calm_streak_ = 0;
+      }
+    } else {
+      calm_streak_ = 0;
+    }
+  }
+  if (next != current) {
+    state_.store(next, std::memory_order_release);
+    ++transitions_;
+    obs_state_->set(next);
+    obs_transitions_[static_cast<std::size_t>(next)]->increment();
+  }
+  return static_cast<HealthState>(next);
+}
+
+DegradationController::DegradationController(HealthConfig config)
+    : monitor_(config) {
+  auto& registry = obs::Registry::global();
+  obs_shed_[0] = &registry.counter("resilience.shed_total", "what=dataset_row");
+  obs_shed_[1] =
+      &registry.counter("resilience.shed_total", "what=archive_write");
+  obs_shed_[2] =
+      &registry.counter("resilience.shed_total", "what=fastloop_verdict");
+  obs_protected_ = &registry.counter("resilience.fastloop_protected_total");
+}
+
+bool DegradationController::should_shed(ShedClass c) noexcept {
+  // The verdict path is exempt by construction, not by configuration:
+  // no tier sheds it, and the pass-through is counted so tests can
+  // assert the exemption held under pressure.
+  if (c == ShedClass::kFastLoopVerdict) {
+    fastloop_protected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const auto state = monitor_.state();
+  bool shed = false;
+  switch (state) {
+    case HealthState::kHealthy:
+      shed = false;
+      break;
+    case HealthState::kDegraded:
+      shed = c == ShedClass::kDatasetRow;
+      break;
+    case HealthState::kShedding:
+      shed = true;  // dataset rows and archive writes
+      break;
+  }
+  if (shed) {
+    shed_[static_cast<std::size_t>(c)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    obs_shed_[static_cast<std::size_t>(c)]->increment();
+  }
+  return shed;
+}
+
+StageLatencyProbe::StageLatencyProbe(std::string_view stage)
+    : hist_(&obs::stage_histogram(stage)), prev_(hist_->snapshot()) {}
+
+std::uint64_t StageLatencyProbe::windowed_p99() noexcept {
+  const auto now = hist_->snapshot();
+  const auto window = now.since(prev_);
+  prev_ = now;
+  if (window.count == 0) return 0;
+  return static_cast<std::uint64_t>(window.quantile(0.99));
+}
+
+}  // namespace campuslab::resilience

@@ -1,0 +1,180 @@
+// campuslab::resilience — deterministic fault injection.
+//
+// A production capture pipeline is only as trustworthy as its behavior
+// under failure, and failures do not schedule themselves for test runs.
+// FaultInjector lets a test, bench, or chaos CI job *plan* failures —
+// "the 100 000th sink dispatch throws", "every store ingest fails twice
+// before succeeding", "worker consumption stalls 2 ms every 10 000
+// packets" — and replays the same plan bit-for-bit from a seed, so a
+// chaos run that finds a bug is a regression test, not an anecdote.
+//
+// Injection points are named call sites threaded through the pipeline
+// (capture.sink_dispatch, capture.worker, flow.update, dataset.append,
+// store.ingest, archive.write, sim.emit). Each is a single relaxed
+// atomic load when no injector is installed — cheap enough to live on
+// the per-packet path permanently, which is the point: the shipped
+// binary and the chaos binary are the same binary.
+//
+// Determinism: every decision is a pure function of (plan seed, site,
+// per-site hit index). Counting is atomic, so under concurrency the
+// k-th hit of a site fires the same faults no matter which worker
+// thread lands it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campuslab/util/result.h"
+#include "campuslab/util/time.h"
+
+namespace campuslab::obs {
+class Counter;
+}  // namespace campuslab::obs
+
+namespace campuslab::resilience {
+
+enum class FaultKind {
+  kThrow,  // throw FaultInjected — a sink exception / worker death
+  kFail,   // report an Error to the caller — a failed ingest or write
+  kDelay,  // sleep `delay` — a slow consumer / stalled stage
+};
+
+std::string_view to_string(FaultKind kind) noexcept;
+
+/// One planned fault class at one injection point. Firing pattern:
+/// `every_n` (fires on every n-th hit past `skip_first`) when nonzero,
+/// else Bernoulli(`probability`) derived from the plan seed and the hit
+/// index. `max_fires` bounds the total.
+struct FaultSpec {
+  std::string site;
+  FaultKind kind = FaultKind::kFail;
+  std::uint64_t every_n = 0;
+  double probability = 0.0;
+  std::uint64_t skip_first = 0;
+  std::uint64_t max_fires = ~std::uint64_t{0};
+  Duration delay = Duration::micros(200);  // kDelay only
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> faults;
+
+  /// The chaos-CI knob: CAMPUSLAB_FAULT_SEED, else `fallback`.
+  static std::uint64_t seed_from_env(std::uint64_t fallback = 1);
+};
+
+/// Thrown by kThrow faults. Supervisors catch it like any escaped
+/// std::exception; the site survives for diagnostics.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(std::string site)
+      : std::runtime_error("injected fault at " + site),
+        site_(std::move(site)) {}
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Process-global arming. Injection points reduce to one relaxed load
+  /// of this pointer when it is null. Installing a new injector
+  /// replaces the previous one; install(nullptr) disarms.
+  static void install(FaultInjector* injector) noexcept;
+  static FaultInjector* current() noexcept;
+
+  /// Count one hit of `site` and return the spec of the fault that
+  /// fires on it, or nullptr. Thread-safe; does not apply the fault
+  /// (the fault_point helpers do).
+  const FaultSpec* evaluate(std::string_view site) noexcept;
+
+  /// Fires recorded at `site` / across all sites so far.
+  std::uint64_t fires(std::string_view site) const noexcept;
+  std::uint64_t hits(std::string_view site) const noexcept;
+  std::uint64_t total_fires() const noexcept {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    std::uint64_t decision_salt = 0;  // seed ^ hash(site), fixed at build
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fires{0};
+    obs::Counter* fire_counter = nullptr;
+  };
+
+  bool decide(Site& site, std::uint64_t hit_index) noexcept;
+
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  // Heterogeneous lookup (string_view against string keys), built once
+  // at construction and read-only afterwards — no lock on the hot path.
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_site_;
+  std::atomic<std::uint64_t> total_fires_{0};
+};
+
+/// RAII arm/disarm for tests and benches: builds the injector from the
+/// plan, installs it, and disarms on scope exit.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan) : injector_(std::move(plan)) {
+    FaultInjector::install(&injector_);
+  }
+  ~FaultScope() { FaultInjector::install(nullptr); }
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  FaultInjector& injector() noexcept { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+namespace detail {
+void apply_fault(const FaultSpec& spec);  // throws or delays; kFail = no-op
+extern std::atomic<FaultInjector*> g_injector;
+}  // namespace detail
+
+/// Injection point for sites with no failure channel (sink dispatch,
+/// flow update, dataset append). May throw FaultInjected or delay;
+/// kFail specs are ignored here. One relaxed load when disarmed.
+inline void fault_point(std::string_view site) {
+  FaultInjector* injector =
+      detail::g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return;
+  if (const FaultSpec* spec = injector->evaluate(site))
+    detail::apply_fault(*spec);
+}
+
+/// Injection point for sites that report recoverable errors (store
+/// ingest, archive write, sim emit): kFail returns the error, kThrow
+/// throws, kDelay sleeps then succeeds.
+inline Status fault_point_status(std::string_view site) {
+  FaultInjector* injector =
+      detail::g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return Status::success();
+  if (const FaultSpec* spec = injector->evaluate(site)) {
+    if (spec->kind == FaultKind::kFail)
+      return Error::make("fault_injected",
+                         "injected failure at " + spec->site);
+    detail::apply_fault(*spec);
+  }
+  return Status::success();
+}
+
+}  // namespace campuslab::resilience

@@ -1,0 +1,164 @@
+// campuslab::resilience — pipeline health state machine and graceful
+// degradation tiers.
+//
+// When the capture pipeline falls behind (rings filling, sink latency
+// climbing), something has to give, and it must be the *right* thing in
+// the *right* order. The tiers:
+//
+//   Healthy   — everything runs: verdicts, flow metering, dataset rows,
+//               archive writes.
+//   Degraded  — dataset rows are shed first (training data is the most
+//               replaceable product: it is subsampled anyway, and a gap
+//               is a labelling nuisance, not a blind spot).
+//   Shedding  — archive writes are shed too (raw pcap is the heaviest
+//               per-packet cost; flows + verdicts still cover the
+//               operational questions).
+//
+// The FastLoop verdict path is NEVER shed, at any tier — the fast loop
+// is the in-band defense; shedding it converts overload into an open
+// gate. DegradationController encodes that structurally: there is no
+// state in which should_shed(kFastLoopVerdict) returns true.
+//
+// The monitor is driven by the two live pressure signals the obs layer
+// already exports: ring occupancy (fraction of capacity) and the
+// windowed p99 of a pipeline stage latency histogram. Escalation is
+// immediate; de-escalation takes `recover_samples` consecutive calm
+// samples below the entry threshold minus a hysteresis margin, so the
+// pipeline cannot flap shed/unshed at the boundary.
+//
+// Every shed decision is counted (resilience.shed_total{what=...}) —
+// degradation that is not measured is just loss with better marketing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "campuslab/obs/metrics.h"
+
+namespace campuslab::obs {
+class Counter;
+class Gauge;
+}  // namespace campuslab::obs
+
+namespace campuslab::resilience {
+
+enum class HealthState : int { kHealthy = 0, kDegraded = 1, kShedding = 2 };
+
+std::string_view to_string(HealthState state) noexcept;
+
+struct HealthConfig {
+  // Occupancy driver (fraction of ring capacity, the max across shards).
+  double degraded_occupancy = 0.50;
+  double shedding_occupancy = 0.85;
+  /// Hysteresis: to leave a tier, the signal must fall below the entry
+  /// threshold minus this margin.
+  double recover_margin = 0.15;
+  // Stage-latency driver (windowed p99, ns). Zero disables.
+  std::uint64_t degraded_p99_ns = 0;
+  std::uint64_t shedding_p99_ns = 0;
+  /// Consecutive calm samples required to step down ONE tier.
+  std::size_t recover_samples = 3;
+};
+
+/// Healthy → Degraded → Shedding, with hysteresis and debounce.
+/// update() is called by one supervising thread; state() is safe to
+/// read from any thread (the shed checks on the workers).
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config = {});
+
+  /// Feed one sample of the pressure signals; returns the new state.
+  /// `stage_p99_ns` is optional (pass 0 when only occupancy drives).
+  HealthState update(double ring_occupancy,
+                     std::uint64_t stage_p99_ns = 0) noexcept;
+
+  HealthState state() const noexcept {
+    return static_cast<HealthState>(
+        state_.load(std::memory_order_acquire));
+  }
+
+  std::uint64_t transitions() const noexcept { return transitions_; }
+
+ private:
+  int severity(double occupancy, std::uint64_t p99,
+               double margin) const noexcept;
+
+  HealthConfig config_;
+  std::atomic<int> state_{0};
+  std::size_t calm_streak_ = 0;
+  std::uint64_t transitions_ = 0;
+  obs::Gauge* obs_state_ = nullptr;
+  std::array<obs::Counter*, 3> obs_transitions_{};
+};
+
+/// The optional work classes a pressured pipeline may shed, in shed
+/// order. kFastLoopVerdict exists so the protected path is visible in
+/// the same accounting — it is never shed.
+enum class ShedClass : int {
+  kDatasetRow = 0,
+  kArchiveWrite = 1,
+  kFastLoopVerdict = 2,
+};
+
+std::string_view to_string(ShedClass c) noexcept;
+
+/// Binds a HealthMonitor to shed decisions. Stages call should_shed()
+/// per unit of optional work; the controller answers from the current
+/// tier and counts every shed. Thread-safe: decisions are atomic reads,
+/// counts are atomic increments.
+class DegradationController {
+ public:
+  explicit DegradationController(HealthConfig config = {});
+
+  /// Feed the monitor (one supervising thread).
+  HealthState update(double ring_occupancy,
+                     std::uint64_t stage_p99_ns = 0) noexcept {
+    return monitor_.update(ring_occupancy, stage_p99_ns);
+  }
+
+  HealthState state() const noexcept { return monitor_.state(); }
+  HealthMonitor& monitor() noexcept { return monitor_; }
+
+  /// True when this unit of work must be shed under the current tier.
+  /// Structurally always false for kFastLoopVerdict.
+  bool should_shed(ShedClass c) noexcept;
+
+  std::uint64_t shed_count(ShedClass c) const noexcept {
+    return shed_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+  /// FastLoop verdicts that passed through the controller (all of them,
+  /// by construction).
+  std::uint64_t fastloop_protected() const noexcept {
+    return fastloop_protected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HealthMonitor monitor_;
+  std::array<std::atomic<std::uint64_t>, 3> shed_{};
+  std::atomic<std::uint64_t> fastloop_protected_{0};
+  std::array<obs::Counter*, 3> obs_shed_{};
+  obs::Counter* obs_protected_ = nullptr;
+};
+
+/// Windowed stage-latency reader: diffs successive snapshots of
+/// `pipeline_stage_ns{stage=<name>}` from the global registry, so the
+/// health monitor sees the p99 of the *recent* window instead of the
+/// since-boot distribution (which would never recover after one storm).
+class StageLatencyProbe {
+ public:
+  explicit StageLatencyProbe(std::string_view stage);
+
+  /// p99 (ns) of observations since the previous call; 0 when the
+  /// window holds no new samples.
+  std::uint64_t windowed_p99() noexcept;
+
+ private:
+  obs::Histogram* hist_;
+  obs::HistogramSnapshot prev_;
+};
+
+}  // namespace campuslab::resilience

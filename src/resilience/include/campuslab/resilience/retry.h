@@ -1,0 +1,116 @@
+// campuslab::resilience — retry with exponential backoff, jitter, and a
+// deadline.
+//
+// The store-ingest and archive-write paths talk to things that fail
+// transiently (a disk that blips, an injected fault, tomorrow a remote
+// store). Throwing across the pipeline for those is wrong — CampusLab
+// reserves exceptions for programming errors — so retryable operations
+// return Status/Result and go through retry_status(): exponential
+// backoff with multiplicative growth, seeded jitter (so N shards backing
+// off from one shared stall don't re-converge into a retry storm), and a
+// total-backoff deadline after which the caller gets a terminal
+// `retry_exhausted` / `retry_deadline` error and decides what degrades.
+//
+// Determinism: backoff durations come from an explicit util::Rng, and
+// the deadline is accounted against *requested* backoff (not wall
+// clock), so a test with a fake sleeper replays exactly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "campuslab/util/result.h"
+#include "campuslab/util/rng.h"
+#include "campuslab/util/time.h"
+
+namespace campuslab::resilience {
+
+struct RetryPolicy {
+  std::size_t max_attempts = 5;  // total tries, including the first
+  Duration initial_backoff = Duration::millis(1);
+  Duration max_backoff = Duration::millis(100);
+  double multiplier = 2.0;
+  double jitter = 0.2;  // uniform in [1-jitter, 1+jitter] of the base
+  /// Total backoff budget across all attempts; exceeded → give up with
+  /// "retry_deadline". Zero disables the deadline.
+  Duration deadline = Duration::seconds(2);
+};
+
+/// Backoff before retry number `attempt` (1-based count of failures so
+/// far): initial * multiplier^(attempt-1), capped at max_backoff, then
+/// jittered. Never negative.
+Duration backoff_for(const RetryPolicy& policy, std::size_t attempt,
+                     Rng& rng) noexcept;
+
+/// How an operation waits out a backoff. Default (empty function) is a
+/// real sleep; tests inject a recorder to stay wall-clock free.
+using Sleeper = std::function<void(Duration)>;
+
+/// Filled in by retry_status for callers that report (benches, tests).
+struct RetryTelemetry {
+  std::size_t attempts = 0;      // tries actually made
+  Duration backoff_total{};      // total backoff requested
+};
+
+/// Run `fn` (returning Status) until it succeeds or the policy is
+/// exhausted. `op` labels the retry metrics
+/// (resilience.retry_attempts_total{op=...} etc.). Terminal errors keep
+/// a stable code: "retry_exhausted" (attempts) or "retry_deadline"
+/// (backoff budget), with the last underlying error in the message.
+template <typename Fn>
+Status retry_status(const RetryPolicy& policy, Rng& rng, std::string_view op,
+                    Fn&& fn, const Sleeper& sleeper = {},
+                    RetryTelemetry* telemetry = nullptr);
+
+namespace detail {
+/// Metric bumps live in the .cpp so the template stays header-only
+/// without dragging the registry in.
+void note_attempt(std::string_view op) noexcept;
+void note_failure(std::string_view op) noexcept;
+void note_exhausted(std::string_view op) noexcept;
+}  // namespace detail
+
+template <typename Fn>
+Status retry_status(const RetryPolicy& policy, Rng& rng, std::string_view op,
+                    Fn&& fn, const Sleeper& sleeper,
+                    RetryTelemetry* telemetry) {
+  Duration backoff_spent{};
+  for (std::size_t attempt = 1;; ++attempt) {
+    detail::note_attempt(op);
+    if (telemetry != nullptr) telemetry->attempts = attempt;
+    Status status = fn();
+    if (status.ok()) return status;
+    detail::note_failure(op);
+    if (attempt >= policy.max_attempts) {
+      detail::note_exhausted(op);
+      return Error::make("retry_exhausted",
+                         std::string(op) + ": gave up after " +
+                             std::to_string(attempt) + " attempts (last: " +
+                             status.error().message + ")");
+    }
+    const Duration backoff = backoff_for(policy, attempt, rng);
+    if (policy.deadline.count_nanos() > 0 &&
+        backoff_spent + backoff > policy.deadline) {
+      detail::note_exhausted(op);
+      return Error::make("retry_deadline",
+                         std::string(op) + ": backoff budget exhausted (" +
+                             std::to_string(attempt) + " attempts, last: " +
+                             status.error().message + ")");
+    }
+    backoff_spent += backoff;
+    if (telemetry != nullptr) telemetry->backoff_total = backoff_spent;
+    if (sleeper) {
+      sleeper(backoff);
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(backoff.count_nanos()));
+    }
+  }
+}
+
+}  // namespace campuslab::resilience

@@ -1,0 +1,47 @@
+#include "campuslab/resilience/retry.h"
+
+#include <algorithm>
+
+#include "campuslab/obs/registry.h"
+
+namespace campuslab::resilience {
+
+Duration backoff_for(const RetryPolicy& policy, std::size_t attempt,
+                     Rng& rng) noexcept {
+  if (attempt == 0) attempt = 1;
+  double base = static_cast<double>(policy.initial_backoff.count_nanos());
+  for (std::size_t i = 1; i < attempt; ++i) {
+    base *= policy.multiplier;
+    if (base >= static_cast<double>(policy.max_backoff.count_nanos())) break;
+  }
+  base = std::min(base, static_cast<double>(policy.max_backoff.count_nanos()));
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double factor =
+      jitter > 0.0 ? rng.uniform(1.0 - jitter, 1.0 + jitter) : 1.0;
+  const double jittered = std::max(0.0, base * factor);
+  return Duration::nanos(static_cast<std::int64_t>(jittered));
+}
+
+namespace detail {
+namespace {
+// Retries are cold-path by definition (something already failed), so a
+// registry lookup per event is acceptable; no cached references needed.
+void bump(const char* name, std::string_view op) noexcept {
+  obs::Registry::global()
+      .counter(name, "op=" + std::string(op))
+      .increment();
+}
+}  // namespace
+
+void note_attempt(std::string_view op) noexcept {
+  bump("resilience.retry_attempts_total", op);
+}
+void note_failure(std::string_view op) noexcept {
+  bump("resilience.retry_failures_total", op);
+}
+void note_exhausted(std::string_view op) noexcept {
+  bump("resilience.retry_exhausted_total", op);
+}
+}  // namespace detail
+
+}  // namespace campuslab::resilience

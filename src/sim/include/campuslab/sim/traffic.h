@@ -47,6 +47,10 @@ struct TrafficStats {
   std::uint64_t sessions = 0;
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
+  /// Packets an injected sim.emit fault suppressed at the source —
+  /// chaos runs model flaky senders without touching capture
+  /// accounting (a never-sent packet is never offered).
+  std::uint64_t faulted_packets = 0;
 };
 
 class TrafficGenerator {

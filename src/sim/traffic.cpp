@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "campuslab/packet/dns.h"
+#include "campuslab/resilience/fault.h"
 
 namespace campuslab::sim {
 
@@ -91,6 +92,10 @@ void TrafficGenerator::arm(App& app) {
 }
 
 void TrafficGenerator::emit(Direction dir, packet::Packet pkt, App& app) {
+  if (auto s = resilience::fault_point_status("sim.emit"); !s.ok()) {
+    ++app.stats.faulted_packets;
+    return;
+  }
   ++app.stats.packets;
   app.stats.bytes += pkt.size();
   net_->inject(dir, std::move(pkt));

@@ -17,7 +17,10 @@
 
 #include "campuslab/capture/filter.h"
 #include "campuslab/capture/pcap.h"
+#include "campuslab/resilience/health.h"
+#include "campuslab/resilience/retry.h"
 #include "campuslab/util/result.h"
+#include "campuslab/util/rng.h"
 
 namespace campuslab::store {
 
@@ -42,8 +45,25 @@ class PacketArchive {
   PacketArchive& operator=(PacketArchive&&) = default;
 
   /// Append one frame; rotates to a new segment when the current one's
-  /// span is exceeded.
+  /// span is exceeded. Passes through the archive.write fault point.
+  /// Under Shedding (see set_degradation) the write is skipped and
+  /// counted shed — archive writes are the second degradation tier,
+  /// after dataset rows and never instead of FastLoop verdicts.
   Status write(const packet::Packet& pkt);
+
+  /// As write(), but transient failures (injected or real) are retried
+  /// under `policy` with backoff from `rng`.
+  Status write(const packet::Packet& pkt,
+               const resilience::RetryPolicy& policy, Rng& rng,
+               const resilience::Sleeper& sleeper = {});
+
+  /// Optional degradation hook: when set, write() consults
+  /// should_shed(kArchiveWrite) and skips (successfully) while the
+  /// pipeline is Shedding. Caller keeps ownership; pass nullptr to
+  /// detach.
+  void set_degradation(resilience::DegradationController* controller) {
+    degradation_ = controller;
+  }
 
   /// Close the current segment (flush to disk).
   Status seal();
@@ -77,6 +97,7 @@ class PacketArchive {
   std::deque<ArchiveSegmentInfo> segments_;  // includes the open one (last)
   std::uint64_t records_ = 0;
   std::uint64_t next_file_id_ = 0;
+  resilience::DegradationController* degradation_ = nullptr;
 };
 
 }  // namespace campuslab::store

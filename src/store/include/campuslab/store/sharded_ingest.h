@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "campuslab/obs/registry.h"
+#include "campuslab/resilience/retry.h"
 #include "campuslab/store/datastore.h"
+#include "campuslab/util/rng.h"
 
 namespace campuslab::store {
 
@@ -47,6 +49,17 @@ class ShardedFlowIngester {
   /// Returns flows ingested. Call from one thread at a time.
   std::uint64_t merge_into(DataStore& store);
 
+  /// Resilient merge: each flow's ingest (which passes through the
+  /// store.ingest fault point) is retried under `policy` with seeded
+  /// backoff. On exhaustion the unmerged tail is re-buffered — nothing
+  /// is lost, and the next merge's canonical sort restores order — and
+  /// the terminal error ("retry_exhausted" / "retry_deadline") is
+  /// returned alongside nothing; success returns flows ingested.
+  /// Call from one thread at a time.
+  Result<std::uint64_t> merge_into(DataStore& store,
+                                   const resilience::RetryPolicy& policy,
+                                   const resilience::Sleeper& sleeper = {});
+
  private:
   struct Buffer {
     std::mutex mu;
@@ -57,6 +70,9 @@ class ShardedFlowIngester {
   std::vector<std::unique_ptr<Buffer>> buffers_;
   std::atomic<std::uint64_t> pending_{0};
   std::uint64_t merged_total_ = 0;
+  // Backoff jitter for the resilient merge; per-ingester so two
+  // ingesters backing off from one shared stall de-correlate.
+  Rng retry_rng_{0x19e57ull};
   // Live backlog gauge (store.ingest_pending); several ingesters in one
   // process sum, per the registry's callback semantics.
   obs::Registry::CallbackHandle obs_pending_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "campuslab/resilience/fault.h"
+
 namespace campuslab::store {
 
 Result<PacketArchive> PacketArchive::open(PacketArchiveConfig config) {
@@ -29,6 +31,14 @@ Status PacketArchive::rotate(Timestamp first_ts) {
 }
 
 Status PacketArchive::write(const packet::Packet& pkt) {
+  if (degradation_ != nullptr &&
+      degradation_->should_shed(resilience::ShedClass::kArchiveWrite)) {
+    // Shed, not failed: the pipeline chose to skip this write under
+    // pressure, and the controller counted the decision.
+    return Status::success();
+  }
+  if (auto s = resilience::fault_point_status("archive.write"); !s.ok())
+    return s;
   const bool need_rotation =
       !writer_ || (!segments_.empty() &&
                    pkt.ts - segments_.back().first_ts >= config_.segment_span);
@@ -41,6 +51,14 @@ Status PacketArchive::write(const packet::Packet& pkt) {
   ++seg.records;
   ++records_;
   return Status::success();
+}
+
+Status PacketArchive::write(const packet::Packet& pkt,
+                            const resilience::RetryPolicy& policy, Rng& rng,
+                            const resilience::Sleeper& sleeper) {
+  return resilience::retry_status(
+      policy, rng, "archive.write", [this, &pkt] { return write(pkt); },
+      sleeper);
 }
 
 Status PacketArchive::seal() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "campuslab/capture/flow.h"
+#include "campuslab/resilience/fault.h"
 
 namespace campuslab::store {
 
@@ -43,6 +44,58 @@ std::uint64_t ShardedFlowIngester::merge_into(DataStore& store) {
   merged_total_ += merged.size();
   obs::Registry::global().counter("store.merged_flows").add(merged.size());
   return merged.size();
+}
+
+Result<std::uint64_t> ShardedFlowIngester::merge_into(
+    DataStore& store, const resilience::RetryPolicy& policy,
+    const resilience::Sleeper& sleeper) {
+  std::vector<capture::FlowRecord> merged;
+  for (auto& buffer : buffers_) {
+    std::vector<capture::FlowRecord> taken;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      taken.swap(buffer->flows);
+    }
+    merged.insert(merged.end(), std::make_move_iterator(taken.begin()),
+                  std::make_move_iterator(taken.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   capture::flow_export_before);
+  std::size_t ingested = 0;
+  Status terminal = Status::success();
+  for (const auto& flow : merged) {
+    Status status = resilience::retry_status(
+        policy, retry_rng_, "store.ingest",
+        [&store, &flow] {
+          Status injected =
+              resilience::fault_point_status("store.ingest");
+          if (!injected.ok()) return injected;
+          store.ingest(flow);
+          return Status::success();
+        },
+        sleeper);
+    if (!status.ok()) {
+      terminal = std::move(status);
+      break;
+    }
+    ++ingested;
+  }
+  pending_.fetch_sub(ingested, std::memory_order_release);
+  merged_total_ += ingested;
+  obs::Registry::global().counter("store.merged_flows").add(ingested);
+  if (!terminal.ok()) {
+    // Re-buffer the unmerged tail: the flows stay pending, nothing is
+    // lost, and the next merge's canonical sort restores order. Parked
+    // in buffer 0 — the buffer a flow waits in carries no meaning.
+    std::lock_guard<std::mutex> lock(buffers_[0]->mu);
+    buffers_[0]->flows.insert(
+        buffers_[0]->flows.end(),
+        std::make_move_iterator(merged.begin() +
+                                static_cast<std::ptrdiff_t>(ingested)),
+        std::make_move_iterator(merged.end()));
+    return terminal.error();
+  }
+  return static_cast<std::uint64_t>(ingested);
 }
 
 }  // namespace campuslab::store

@@ -9,12 +9,16 @@
 //   - store/flow meter fed hostile flows
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <unistd.h>
 
 #include "campuslab/capture/engine.h"
 #include "campuslab/capture/flow.h"
+#include "campuslab/capture/sharded_engine.h"
 #include "campuslab/capture/pcap.h"
 #include "campuslab/features/packet_features.h"
 #include "campuslab/packet/builder.h"
@@ -172,6 +176,52 @@ TEST(OverloadCapture, OneSlotRingStillAccountsExactly) {
   EXPECT_EQ(s.accepted + s.dropped, s.offered);
   EXPECT_EQ(s.consumed, s.accepted);
   EXPECT_EQ(seen, s.consumed);
+}
+
+TEST(OverloadCapture, OneSlotShardedRingAccountsExactlyUnderConcurrentStop) {
+  // The sharded pipeline's worst case: pathological 1-slot rings, a
+  // producer hammering offers, and stop() racing the producer instead
+  // of waiting for it. Whatever interleaving happens, the quiesced
+  // accounting identities must be EXACT — every offered frame is
+  // accepted or dropped, every accepted frame is consumed or abandoned.
+  capture::ShardedCaptureEngine engine({.shards = 2, .ring_capacity = 1});
+  std::atomic<std::uint64_t> seen{0};
+  engine.add_sink_factory([&seen](std::size_t) {
+    return [&seen](const capture::TaggedPacket&) { ++seen; };
+  });
+  using namespace packet;
+  engine.start();
+  std::atomic<bool> stop_offering{false};
+  std::uint64_t offers = 0;
+  std::thread producer([&] {
+    Rng rng(0xC0);
+    while (!stop_offering.load(std::memory_order_acquire)) {
+      (void)engine.offer(
+          PacketBuilder(Timestamp::from_nanos(static_cast<std::int64_t>(
+                            1000 + offers)))
+              .udp(Endpoint{MacAddress::from_id(1),
+                            Ipv4Address(10, 0, 16, 2),
+                            static_cast<std::uint16_t>(rng.below(60000))},
+                   Endpoint{MacAddress::from_id(2), Ipv4Address(8, 8, 8, 8),
+                            53})
+              .build(),
+          sim::Direction::kInbound);
+      ++offers;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.stop();  // races the still-running producer
+  stop_offering.store(true, std::memory_order_release);
+  producer.join();
+  engine.drain();  // frames offered after the workers left
+
+  const auto s = engine.stats();
+  EXPECT_EQ(s.offered, offers);
+  EXPECT_EQ(s.accepted + s.dropped, s.offered);
+  EXPECT_EQ(s.consumed + s.abandoned, s.accepted);
+  EXPECT_GT(s.dropped, 0u);  // 1-slot rings under pressure must drop
+  EXPECT_EQ(seen.load(), s.consumed);
+  EXPECT_LE(s.drained_on_stop, s.consumed);
 }
 
 TEST(OverloadFlowMeter, MillionDistinctFlowsStayBounded) {
