@@ -126,9 +126,9 @@ int main() {
   std::puts("\nDiagnosis log (from the data store):");
   store::LogQuery q;
   q.source = "perf-diagnosis";
-  for (const auto* ev : bed.store().query_logs(q)) {
-    std::printf("  [%6.1fs] sev=%d %s\n", ev->ts.to_seconds(),
-                ev->severity, ev->message.c_str());
+  for (const auto& ev : bed.store().query_logs(q)) {
+    std::printf("  [%6.1fs] sev=%d %s\n", ev.ts.to_seconds(),
+                ev.severity, ev.message.c_str());
   }
   return 0;
 }

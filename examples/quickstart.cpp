@@ -69,18 +69,28 @@ int main() {
   const auto hits = bed.store().query(attack_query);
   std::printf("\nTop flows of the incident against %s:\n",
               victim.to_string().c_str());
-  for (const auto* stored : hits) {
+  for (const auto& stored : hits) {
     std::printf("  %s  %llu pkts, %.2f MB, %.1fs\n",
-                stored->flow.tuple.to_string().c_str(),
-                (unsigned long long)stored->flow.packets,
-                stored->flow.bytes / 1e6,
-                stored->flow.duration().to_seconds());
+                stored.flow.tuple.to_string().c_str(),
+                (unsigned long long)stored.flow.packets,
+                stored.flow.bytes / 1e6,
+                stored.flow.duration().to_seconds());
   }
 
   store::FlowQuery dns_query;
   dns_query.dns_only = true;
   std::printf("DNS flows in store: %zu\n",
               bed.store().query(dns_query).size());
+
+  const auto talkers =
+      bed.store().aggregate(store::FlowQuery{}, store::GroupBy::kHost,
+                            /*top_k=*/3);
+  std::puts("Top talkers (bytes, both directions):");
+  for (const auto& row : talkers.rows) {
+    std::printf("  %-15s %6llu flows  %.2f MB\n",
+                row.host().to_string().c_str(),
+                (unsigned long long)row.flows, row.bytes / 1e6);
+  }
 
   // --- 4. Role-arbitrated access through the privacy gate. -----------
   privacy::PrivacyGate gate(bed.store(),

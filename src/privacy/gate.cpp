@@ -33,7 +33,7 @@ Result<std::vector<store::StoredFlow>> PrivacyGate::query(
   const auto raw = store_->query(clipped);
   std::vector<store::StoredFlow> out;
   out.reserve(raw.size());
-  for (const auto* stored : raw) out.push_back(sanitize(*stored, rights));
+  for (const auto& stored : raw) out.push_back(sanitize(stored, rights));
   audit_.push_back(AuditEntry{now, role, requester, true, out.size()});
   return out;
 }

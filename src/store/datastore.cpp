@@ -4,6 +4,8 @@
 
 #include "campuslab/obs/registry.h"
 #include "campuslab/obs/stage_timer.h"
+#include "campuslab/resilience/fault.h"
+#include "campuslab/store/query_engine.h"
 
 namespace campuslab::store {
 
@@ -12,27 +14,51 @@ struct StoreMetrics {
   obs::Counter& ingested =
       obs::Registry::global().counter("store.flows_ingested");
   obs::Histogram& ingest_ns = obs::stage_histogram("store_ingest");
+  obs::Histogram& query_ns =
+      obs::Registry::global().histogram("store_query_ns");
+  obs::Counter& queries = obs::Registry::global().counter("store.queries");
+  obs::Counter& segments_scanned =
+      obs::Registry::global().counter("store.segments_scanned");
+  obs::Counter& index_hits =
+      obs::Registry::global().counter("store.index_hits");
+  obs::Counter& rows_returned =
+      obs::Registry::global().counter("store.rows_returned");
 
   static StoreMetrics& get() {
     static StoreMetrics m;
     return m;
   }
+
+  void record_query(std::uint64_t elapsed_ns, const QueryStats& stats,
+                    std::size_t rows) {
+    query_ns.observe(elapsed_ns);
+    queries.increment();
+    segments_scanned.add(stats.segments_scanned);
+    index_hits.add(stats.index_hits);
+    rows_returned.add(rows);
+  }
 };
 }  // namespace
 
-DataStore::DataStore(DataStoreConfig config) : config_(config) {}
+DataStore::DataStore(DataStoreConfig config) : config_(config) {
+  if (config_.segment_flows == 0) config_.segment_flows = 1;
+  if (config_.query_threads == 0) config_.query_threads = 1;
+}
 
-DataStore::Segment& DataStore::open_segment() {
-  if (segments_.empty() || segments_.back().sealed) {
-    Segment seg;
-    seg.min_ts = Timestamp::from_nanos(
-        std::numeric_limits<std::int64_t>::max());
-    seg.max_ts = Timestamp::from_nanos(
-        std::numeric_limits<std::int64_t>::min());
-    seg.flows.reserve(config_.segment_flows);
-    segments_.push_back(std::move(seg));
-  }
-  return segments_.back();
+DataStore::~DataStore() = default;
+
+ScanPool* DataStore::configured_pool() const {
+  if (config_.query_threads <= 1) return nullptr;
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ScanPool>(config_.query_threads);
+  });
+  return pool_.get();
+}
+
+Segment& DataStore::open_segment_locked() {
+  if (segments_.empty() || segments_.back()->sealed)
+    segments_.push_back(std::make_shared<Segment>(config_.segment_flows));
+  return *segments_.back();
 }
 
 void DataStore::index_flow(Segment& seg, const StoredFlow& stored,
@@ -52,7 +78,9 @@ std::uint64_t DataStore::ingest(const capture::FlowRecord& flow) {
   auto& metrics = StoreMetrics::get();
   obs::StageTimer stage_timer(metrics.ingest_ns);
   metrics.ingested.increment();
-  auto& seg = open_segment();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& seg = open_segment_locked();
   StoredFlow stored{next_id_++, flow};
 
   // Data cleaning: a flow whose timestamps are inverted (possible only
@@ -63,98 +91,121 @@ std::uint64_t DataStore::ingest(const capture::FlowRecord& flow) {
   seg.min_ts = std::min(seg.min_ts, stored.flow.first_ts);
   seg.max_ts = std::max(seg.max_ts, stored.flow.last_ts);
   const auto offset = static_cast<std::uint32_t>(seg.flows.size());
+  // push_back never reallocates: capacity was reserved up front and
+  // the segment seals exactly at capacity (snapshot.h relies on this).
   seg.flows.push_back(std::move(stored));
   index_flow(seg, seg.flows.back(), offset);
 
-  ++total_flows_;
+  total_flows_.fetch_add(1, std::memory_order_release);
   ++label_counts_[static_cast<std::size_t>(flow.majority_label())];
   if (seg.flows.size() >= config_.segment_flows) seg.sealed = true;
   return seg.flows.back().id;
 }
 
 void DataStore::ingest_log(LogEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
   logs_.push_back(std::move(event));
 }
 
-bool DataStore::segment_overlaps(const Segment& seg,
-                                 const FlowQuery& q) const {
-  if (seg.flows.empty()) return false;
-  if (q.from && seg.max_ts < *q.from) return false;
-  if (q.to && seg.min_ts > *q.to) return false;
-  return true;
-}
-
-std::vector<const StoredFlow*> DataStore::query(const FlowQuery& q) const {
-  std::vector<const StoredFlow*> out;
+StoreSnapshot DataStore::snapshot_locked() const {
+  std::vector<PinnedSegment> pins;
+  pins.reserve(segments_.size());
   for (const auto& seg : segments_) {
-    if (out.size() >= q.limit) break;
-    if (!segment_overlaps(seg, q)) continue;
-
-    // Plan: host index > label index > port index > scan.
-    const std::vector<std::uint32_t>* candidates = nullptr;
-    std::vector<std::uint32_t> merged;
-    if (q.host || q.src || q.dst) {
-      const auto addr = q.host ? *q.host : (q.src ? *q.src : *q.dst);
-      const auto it = seg.by_host.find(addr.value());
-      if (it == seg.by_host.end()) continue;
-      candidates = &it->second;
-    } else if (q.label) {
-      candidates = &seg.by_label[static_cast<std::size_t>(*q.label)];
-    } else if (q.port) {
-      const auto it = seg.by_port.find(*q.port);
-      if (it == seg.by_port.end()) continue;
-      candidates = &it->second;
-    }
-
-    if (candidates) {
-      for (const auto offset : *candidates) {
-        const auto& stored = seg.flows[offset];
-        if (q.matches(stored)) {
-          out.push_back(&stored);
-          if (out.size() >= q.limit) break;
-        }
-      }
-    } else {
-      for (const auto& stored : seg.flows) {
-        if (q.matches(stored)) {
-          out.push_back(&stored);
-          if (out.size() >= q.limit) break;
-        }
-      }
-    }
+    if (seg->flows.empty()) continue;
+    pins.push_back(PinnedSegment{
+        seg, static_cast<std::uint32_t>(seg->flows.size()), seg->sealed});
   }
-  return out;
+  return StoreSnapshot(std::move(pins));
 }
 
-std::vector<const LogEvent*> DataStore::query_logs(const LogQuery& q) const {
-  std::vector<const LogEvent*> out;
-  for (const auto& ev : logs_) {
-    if (q.matches(ev)) {
-      out.push_back(&ev);
-      if (out.size() >= q.limit) break;
+StoreSnapshot DataStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_locked();
+}
+
+QueryResult DataStore::query(const FlowQuery& q) const {
+  resilience::fault_point("store.query");
+  const auto t0 = obs::monotonic_ns();
+  auto result = execute_query(snapshot(), q, configured_pool());
+  StoreMetrics::get().record_query(obs::monotonic_ns() - t0,
+                                   result.stats(), result.size());
+  return result;
+}
+
+QueryResult DataStore::query(const FlowQuery& q, ScanPool& pool) const {
+  resilience::fault_point("store.query");
+  const auto t0 = obs::monotonic_ns();
+  auto result = execute_query(snapshot(), q, &pool);
+  StoreMetrics::get().record_query(obs::monotonic_ns() - t0,
+                                   result.stats(), result.size());
+  return result;
+}
+
+AggregateResult DataStore::aggregate(const FlowQuery& q, GroupBy group_by,
+                                     std::size_t top_k) const {
+  resilience::fault_point("store.query");
+  const auto t0 = obs::monotonic_ns();
+  auto result =
+      execute_aggregate(snapshot(), q, group_by, top_k, configured_pool());
+  StoreMetrics::get().record_query(obs::monotonic_ns() - t0, result.stats,
+                                   result.rows.size());
+  return result;
+}
+
+AggregateResult DataStore::aggregate(const FlowQuery& q, GroupBy group_by,
+                                     std::size_t top_k,
+                                     ScanPool& pool) const {
+  resilience::fault_point("store.query");
+  const auto t0 = obs::monotonic_ns();
+  auto result = execute_aggregate(snapshot(), q, group_by, top_k, &pool);
+  StoreMetrics::get().record_query(obs::monotonic_ns() - t0, result.stats,
+                                   result.rows.size());
+  return result;
+}
+
+QueryCursor DataStore::open_cursor(FlowQuery q) const {
+  resilience::fault_point("store.query");
+  return QueryCursor(snapshot(), std::move(q));
+}
+
+LogResult DataStore::query_logs(const LogQuery& q) const {
+  resilience::fault_point("store.query");
+  std::vector<LogEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ev : logs_) {
+      if (q.matches(ev)) {
+        out.push_back(ev);
+        if (out.size() >= q.limit) break;
+      }
     }
   }
-  return out;
+  return LogResult(std::move(out));
 }
 
 void DataStore::for_each(
     const std::function<void(const StoredFlow&)>& fn) const {
-  for (const auto& seg : segments_)
-    for (const auto& stored : seg.flows) fn(stored);
+  const auto snap = snapshot();
+  for (const auto& pin : snap.segments()) {
+    const StoredFlow* flows = pin.segment->flows.data();
+    for (std::uint32_t i = 0; i < pin.count; ++i) fn(flows[i]);
+  }
 }
 
 std::uint64_t DataStore::enforce_retention(Timestamp now) {
   const Timestamp horizon = now - config_.retention;
   std::uint64_t evicted = 0;
-  while (!segments_.empty() && segments_.front().sealed &&
-         segments_.front().max_ts < horizon) {
-    for (const auto& stored : segments_.front().flows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!segments_.empty() && segments_.front()->sealed &&
+         segments_.front()->max_ts < horizon) {
+    for (const auto& stored : segments_.front()->flows) {
       --label_counts_[static_cast<std::size_t>(
           stored.flow.majority_label())];
       ++evicted;
     }
-    total_flows_ -= segments_.front().flows.size();
-    segments_.pop_front();
+    total_flows_.fetch_sub(segments_.front()->flows.size(),
+                           std::memory_order_release);
+    segments_.pop_front();  // pinned snapshots keep the segment alive
   }
   while (!logs_.empty() && logs_.front().ts < horizon) {
     logs_.pop_front();
@@ -166,25 +217,31 @@ std::uint64_t DataStore::enforce_retention(Timestamp now) {
 
 CatalogInfo DataStore::catalog() const {
   CatalogInfo info;
-  info.total_flows = total_flows_;
-  info.total_log_events = logs_.size();
-  info.segments = segments_.size();
-  info.flows_per_label = label_counts_;
-  info.evicted_by_retention = evicted_;
+  StoreSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    info.total_flows = total_flows_.load(std::memory_order_relaxed);
+    info.total_log_events = logs_.size();
+    info.segments = segments_.size();
+    info.flows_per_label = label_counts_;
+    info.evicted_by_retention = evicted_;
+    snap = snapshot_locked();
+  }
   bool first = true;
-  for (const auto& seg : segments_) {
-    for (const auto& stored : seg.flows) {
-      info.total_packets += stored.flow.packets;
-      info.total_bytes += stored.flow.bytes;
-    }
-    if (seg.flows.empty()) continue;
-    if (first) {
-      info.earliest = seg.min_ts;
-      info.latest = seg.max_ts;
-      first = false;
-    } else {
-      info.earliest = std::min(info.earliest, seg.min_ts);
-      info.latest = std::max(info.latest, seg.max_ts);
+  for (const auto& pin : snap.segments()) {
+    const StoredFlow* flows = pin.segment->flows.data();
+    for (std::uint32_t i = 0; i < pin.count; ++i) {
+      const auto& f = flows[i].flow;
+      info.total_packets += f.packets;
+      info.total_bytes += f.bytes;
+      if (first) {
+        info.earliest = f.first_ts;
+        info.latest = f.last_ts;
+        first = false;
+      } else {
+        info.earliest = std::min(info.earliest, f.first_ts);
+        info.latest = std::max(info.latest, f.last_ts);
+      }
     }
   }
   return info;

@@ -1,0 +1,55 @@
+// Aggregation layer over the query engine: count / sum-bytes group-by
+// and top-K heavy hitters, computed per segment (in parallel when a
+// pool is supplied) and merged deterministically.
+//
+// Grouping semantics mirror the inverted indexes: kHost and kPort
+// credit a flow to *both* endpoints (a flow between A and B counts
+// toward A's row and B's row — "top talkers" in the operational
+// sense), deduplicated when the two sides coincide; kLabel groups by
+// the flow's majority label. Rows are ordered by bytes descending,
+// key ascending on ties, so the first K rows ARE the top-K heavy
+// hitters and the ordering is reproducible across runs and thread
+// counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campuslab/store/query_result.h"
+
+namespace campuslab::store {
+
+enum class GroupBy : std::uint8_t { kHost, kPort, kLabel };
+
+std::string_view to_string(GroupBy by) noexcept;
+
+struct AggregateRow {
+  std::uint64_t key = 0;  // host address value / port / label index
+  std::uint64_t flows = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+
+  // Typed views of `key` for the grouping that produced the row.
+  packet::Ipv4Address host() const noexcept {
+    return packet::Ipv4Address(static_cast<std::uint32_t>(key));
+  }
+  std::uint16_t port() const noexcept {
+    return static_cast<std::uint16_t>(key);
+  }
+  packet::TrafficLabel label() const noexcept {
+    return static_cast<packet::TrafficLabel>(key);
+  }
+};
+
+struct AggregateResult {
+  GroupBy group_by = GroupBy::kHost;
+  /// Bytes descending, key ascending on ties; truncated to top_k when
+  /// a top_k was requested.
+  std::vector<AggregateRow> rows;
+  /// Flows that matched the filter (each counted once, even when it
+  /// credited two endpoint rows).
+  std::uint64_t matched_flows = 0;
+  QueryStats stats;
+};
+
+}  // namespace campuslab::store

@@ -4,26 +4,46 @@
 // are ingested continuously, cleaned (monotonic timestamps enforced),
 // time-partitioned into segments, indexed (per-segment inverted indexes
 // by host address, port, and ground-truth label), and retained for a
-// configurable window. Queries (query.h) are planned against the most
-// selective index. Raw packets are archived separately in pcap segments
-// (packet_archive.h); the store keeps the linking metadata.
+// configurable window. Raw packets are archived separately in pcap
+// segments (packet_archive.h); the store keeps the linking metadata.
+//
+// Concurrency contract: ingest(), ingest_log() and enforce_retention()
+// mutate under the store mutex and may each run from one thread at a
+// time (the ShardedFlowIngester merge thread in the pipeline); every
+// read path — query(), aggregate(), cursors, for_each(), catalog() —
+// pins a StoreSnapshot under that mutex for O(segments) and then runs
+// lock-free against immutable pinned state, fully concurrent with
+// ingest and retention (snapshot.h explains why this is race-free).
+// Results own their snapshot: rows stay valid for the result's
+// lifetime no matter what the writer does meanwhile.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "campuslab/store/aggregate.h"
 #include "campuslab/store/query.h"
+#include "campuslab/store/query_result.h"
+#include "campuslab/store/snapshot.h"
 
 namespace campuslab::store {
+
+class ScanPool;
 
 struct DataStoreConfig {
   std::size_t segment_flows = 50'000;  // rotate after this many flows
   Duration retention = Duration::hours(24 * 7);  // paper: "order of a week"
+  /// Scan parallelism for query()/aggregate(): total threads fanned
+  /// out per call (1 = serial). The worker pool is created lazily on
+  /// the first parallel query and shared by all queries on this store.
+  std::size_t query_threads = 1;
 };
 
 /// The §5 metadata catalog: what the store holds, over what span.
@@ -42,6 +62,10 @@ struct CatalogInfo {
 class DataStore {
  public:
   explicit DataStore(DataStoreConfig config = {});
+  ~DataStore();
+
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
 
   /// Ingest one completed flow; returns its stable id. Flows are
   /// expected in roughly time order (the flow meter's eviction order);
@@ -51,48 +75,66 @@ class DataStore {
   /// Ingest a complementary event (server log, firewall, IDS, ...).
   void ingest_log(LogEvent event);
 
-  /// Evaluate a query. Results are in ingest order; `query.limit` caps
-  /// the result count. Pointers are valid until the next retention
-  /// enforcement or destruction.
-  std::vector<const StoredFlow*> query(const FlowQuery& q) const;
+  /// Evaluate a query against a snapshot pinned at call time. Rows are
+  /// in ingest order; `query.limit` caps the count. The result owns
+  /// its snapshot — it outlives retention and concurrent ingest.
+  /// Fans out over the configured query_threads when > 1.
+  QueryResult query(const FlowQuery& q) const;
 
-  std::vector<const LogEvent*> query_logs(const LogQuery& q) const;
+  /// Same, fanning out over an explicit pool (bench thread sweeps,
+  /// callers sharing one pool across stores).
+  QueryResult query(const FlowQuery& q, ScanPool& pool) const;
 
-  /// Visit every stored flow in ingest order (dataset export).
+  /// Log events matching `q`, copied out under the store mutex.
+  LogResult query_logs(const LogQuery& q) const;
+
+  /// Count / sum-bytes group-by and top-K heavy hitters over every
+  /// flow matching `q` (see aggregate.h for grouping semantics).
+  AggregateResult aggregate(const FlowQuery& q, GroupBy group_by,
+                            std::size_t top_k = 0) const;
+  AggregateResult aggregate(const FlowQuery& q, GroupBy group_by,
+                            std::size_t top_k, ScanPool& pool) const;
+
+  /// Streaming evaluation: pins a snapshot now, walks it row by row
+  /// without materializing (million-flow scans in O(1) memory).
+  QueryCursor open_cursor(FlowQuery q) const;
+
+  /// Pin the current segment list (the primitive under every read
+  /// path; public for tools that batch several reads on one view).
+  StoreSnapshot snapshot() const;
+
+  /// Visit every stored flow in ingest order (dataset export). Runs on
+  /// a pinned snapshot: consistent, and concurrent with ingest.
   void for_each(const std::function<void(const StoredFlow&)>& fn) const;
 
   /// Drop whole segments entirely older than now - retention.
-  /// Returns flows evicted.
+  /// Returns flows evicted. Snapshots pinned before the call keep
+  /// their segments alive until released.
   std::uint64_t enforce_retention(Timestamp now);
 
   CatalogInfo catalog() const;
-  std::uint64_t size() const noexcept { return total_flows_; }
+  std::uint64_t size() const noexcept {
+    return total_flows_.load(std::memory_order_acquire);
+  }
 
  private:
-  struct Segment {
-    std::vector<StoredFlow> flows;
-    Timestamp min_ts;
-    Timestamp max_ts;
-    bool sealed = false;
-    // Local inverted indexes: value = offset into `flows`.
-    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_host;
-    std::unordered_map<std::uint16_t, std::vector<std::uint32_t>> by_port;
-    std::array<std::vector<std::uint32_t>, packet::kTrafficLabelCount>
-        by_label;
-  };
-
-  Segment& open_segment();
+  Segment& open_segment_locked();
+  StoreSnapshot snapshot_locked() const;
   static void index_flow(Segment& seg, const StoredFlow& stored,
                          std::uint32_t offset);
-  bool segment_overlaps(const Segment& seg, const FlowQuery& q) const;
+  ScanPool* configured_pool() const;
 
   DataStoreConfig config_;
-  std::deque<Segment> segments_;
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<Segment>> segments_;
   std::deque<LogEvent> logs_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t total_flows_ = 0;
+  std::atomic<std::uint64_t> total_flows_{0};
   std::uint64_t evicted_ = 0;
   std::array<std::uint64_t, packet::kTrafficLabelCount> label_counts_{};
+  // Lazily created on the first parallel query (query_threads > 1).
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ScanPool> pool_;
 };
 
 }  // namespace campuslab::store

@@ -3,12 +3,20 @@
 // A query is a conjunction of optional predicates over stored flows.
 // The store picks the most selective available index (host, label,
 // port) and falls back to a time-bounded scan, so queries state *what*
-// they want, never *how* to find it.
+// they want, never *how* to find it. planned_index() exposes that
+// choice for tests and EXPLAIN-style tooling.
+//
+// Builders are ref-qualified: on an lvalue they return FlowQuery& (the
+// classic mutate-in-place chain), on an rvalue they return FlowQuery&&
+// so a one-liner like `store.query(FlowQuery{}.about_host(h).top(5))`
+// moves the same temporary through the whole chain without copying.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <string_view>
+#include <utility>
 
 #include "campuslab/capture/flow.h"
 
@@ -19,6 +27,14 @@ struct StoredFlow {
   std::uint64_t id = 0;
   capture::FlowRecord flow;
 };
+
+/// Which access path the planner selects for a query. Ordered by
+/// expected selectivity: an exact host address narrows harder than a
+/// label, a label harder than a port; anything else is a
+/// segment-pruned time scan.
+enum class IndexKind : std::uint8_t { kHost, kLabel, kPort, kTimeScan };
+
+std::string_view to_string(IndexKind kind) noexcept;
 
 struct FlowQuery {
   /// Overlap with [from, to] on the flow's [first_ts, last_ts] span.
@@ -40,28 +56,75 @@ struct FlowQuery {
   bool matches(const StoredFlow& stored) const noexcept;
 
   // Fluent builders keep call sites readable.
-  FlowQuery& between(Timestamp a, Timestamp b) {
+  FlowQuery& between(Timestamp a, Timestamp b) & {
     from = a;
     to = b;
     return *this;
   }
-  FlowQuery& about_host(packet::Ipv4Address a) {
+  FlowQuery&& between(Timestamp a, Timestamp b) && {
+    return std::move(between(a, b));
+  }
+  FlowQuery& since(Timestamp a) & {
+    from = a;
+    return *this;
+  }
+  FlowQuery&& since(Timestamp a) && { return std::move(since(a)); }
+  FlowQuery& until(Timestamp b) & {
+    to = b;
+    return *this;
+  }
+  FlowQuery&& until(Timestamp b) && { return std::move(until(b)); }
+  FlowQuery& about_host(packet::Ipv4Address a) & {
     host = a;
     return *this;
   }
-  FlowQuery& with_label(packet::TrafficLabel l) {
+  FlowQuery&& about_host(packet::Ipv4Address a) && {
+    return std::move(about_host(a));
+  }
+  FlowQuery& with_label(packet::TrafficLabel l) & {
     label = l;
     return *this;
   }
-  FlowQuery& on_port(std::uint16_t p) {
+  FlowQuery&& with_label(packet::TrafficLabel l) && {
+    return std::move(with_label(l));
+  }
+  FlowQuery& on_port(std::uint16_t p) & {
     port = p;
     return *this;
   }
-  FlowQuery& top(std::size_t n) {
+  FlowQuery&& on_port(std::uint16_t p) && { return std::move(on_port(p)); }
+  FlowQuery& with_proto(std::uint8_t p) & {
+    proto = p;
+    return *this;
+  }
+  FlowQuery&& with_proto(std::uint8_t p) && {
+    return std::move(with_proto(p));
+  }
+  FlowQuery& at_least_bytes(std::uint64_t n) & {
+    min_bytes = n;
+    return *this;
+  }
+  FlowQuery&& at_least_bytes(std::uint64_t n) && {
+    return std::move(at_least_bytes(n));
+  }
+  FlowQuery& from_direction(sim::Direction d) & {
+    direction = d;
+    return *this;
+  }
+  FlowQuery&& from_direction(sim::Direction d) && {
+    return std::move(from_direction(d));
+  }
+  FlowQuery& top(std::size_t n) & {
     limit = n;
     return *this;
   }
+  FlowQuery&& top(std::size_t n) && { return std::move(top(n)); }
 };
+
+/// The planner: the one place that ranks the available inverted
+/// indexes for a query. Pure function of the predicates, so tests can
+/// pin index selection without running a store.
+IndexKind planned_index(const FlowQuery& q) noexcept;
 
 /// Complementary (non-packet) event, per §5: "server logs, firewall
 /// rules, configuration files, events".
@@ -82,6 +145,46 @@ struct LogQuery {
   std::size_t limit = std::numeric_limits<std::size_t>::max();
 
   bool matches(const LogEvent& ev) const noexcept;
+
+  LogQuery& between(Timestamp a, Timestamp b) & {
+    from = a;
+    to = b;
+    return *this;
+  }
+  LogQuery&& between(Timestamp a, Timestamp b) && {
+    return std::move(between(a, b));
+  }
+  LogQuery& since(Timestamp a) & {
+    from = a;
+    return *this;
+  }
+  LogQuery&& since(Timestamp a) && { return std::move(since(a)); }
+  LogQuery& from_source(std::string s) & {
+    source = std::move(s);
+    return *this;
+  }
+  LogQuery&& from_source(std::string s) && {
+    return std::move(from_source(std::move(s)));
+  }
+  LogQuery& about_subject(packet::Ipv4Address a) & {
+    subject = a;
+    return *this;
+  }
+  LogQuery&& about_subject(packet::Ipv4Address a) && {
+    return std::move(about_subject(a));
+  }
+  LogQuery& at_least_severity(int s) & {
+    min_severity = s;
+    return *this;
+  }
+  LogQuery&& at_least_severity(int s) && {
+    return std::move(at_least_severity(s));
+  }
+  LogQuery& top(std::size_t n) & {
+    limit = n;
+    return *this;
+  }
+  LogQuery&& top(std::size_t n) && { return std::move(top(n)); }
 };
 
 }  // namespace campuslab::store

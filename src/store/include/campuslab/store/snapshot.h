@@ -1,0 +1,91 @@
+// Snapshot isolation for the data store.
+//
+// Segments are the store's time-partitioned units. A segment mutates
+// only while it is the open tail — appended to by the single ingest
+// writer under the store mutex — and is immutable forever once sealed.
+// Queries never hold the store lock for the duration of a scan: they
+// *pin* a StoreSnapshot (one shared_ptr per segment plus the flow
+// count committed at pin time) and then scan lock-free. Retention
+// merely drops the store's own references; a pinned snapshot keeps
+// evicted segments alive until the last QueryResult or cursor holding
+// them is destroyed, which is what makes "retention fired while I was
+// iterating my results" impossible by construction.
+//
+// Why the pinned prefix of an *open* segment is safe to read without
+// locks: `flows` is reserved to full capacity at construction and the
+// segment seals exactly when it reaches that capacity, so the backing
+// array never reallocates and element addresses are stable for the
+// segment's lifetime. Elements [0, PinnedSegment::count) were written
+// before the pin was taken under the store mutex (mutex ordering makes
+// them visible); the writer only ever touches elements >= count and
+// the vector's own bookkeeping, which pinned readers never look at —
+// readers go through `flows.data()`, never `size()` or iterators.
+// The inverted indexes are consulted only when the segment was sealed
+// at pin time (an open segment's indexes are still being built).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "campuslab/store/query.h"
+
+namespace campuslab::store {
+
+/// One time-partitioned storage unit.
+struct Segment {
+  explicit Segment(std::size_t capacity) {
+    flows.reserve(capacity);
+    min_ts = Timestamp::from_nanos(std::numeric_limits<std::int64_t>::max());
+    max_ts = Timestamp::from_nanos(std::numeric_limits<std::int64_t>::min());
+  }
+
+  std::vector<StoredFlow> flows;  // append-only; never reallocates
+  bool sealed = false;
+  Timestamp min_ts;  // min first_ts / max last_ts — stable once sealed
+  Timestamp max_ts;
+  // Local inverted indexes: value = offset into `flows`, ascending.
+  // Complete (and safe to read) only once sealed.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_host;
+  std::unordered_map<std::uint16_t, std::vector<std::uint32_t>> by_port;
+  std::array<std::vector<std::uint32_t>, packet::kTrafficLabelCount>
+      by_label;
+};
+
+/// A segment as one snapshot sees it: the ownership pin, how many
+/// flows were committed when the snapshot was taken, and whether the
+/// inverted indexes may be consulted (segment sealed at pin time).
+struct PinnedSegment {
+  std::shared_ptr<const Segment> segment;
+  std::uint32_t count = 0;
+  bool indexed = false;
+};
+
+/// A consistent, immutable view of the store at one instant. Cheap to
+/// copy (shared_ptr per segment); destroying the last copy releases
+/// any segments retention has since evicted.
+class StoreSnapshot {
+ public:
+  StoreSnapshot() = default;
+  explicit StoreSnapshot(std::vector<PinnedSegment> segments)
+      : segments_(std::move(segments)) {}
+
+  const std::vector<PinnedSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+  std::uint64_t flow_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& pin : segments_) n += pin.count;
+    return n;
+  }
+
+  bool empty() const noexcept { return flow_count() == 0; }
+
+ private:
+  std::vector<PinnedSegment> segments_;
+};
+
+}  // namespace campuslab::store

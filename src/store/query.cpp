@@ -2,6 +2,23 @@
 
 namespace campuslab::store {
 
+std::string_view to_string(IndexKind kind) noexcept {
+  switch (kind) {
+    case IndexKind::kHost: return "host";
+    case IndexKind::kLabel: return "label";
+    case IndexKind::kPort: return "port";
+    case IndexKind::kTimeScan: return "time-scan";
+  }
+  return "?";
+}
+
+IndexKind planned_index(const FlowQuery& q) noexcept {
+  if (q.host || q.src || q.dst) return IndexKind::kHost;
+  if (q.label) return IndexKind::kLabel;
+  if (q.port) return IndexKind::kPort;
+  return IndexKind::kTimeScan;
+}
+
 bool FlowQuery::matches(const StoredFlow& stored) const noexcept {
   const auto& f = stored.flow;
   if (from && f.last_ts < *from) return false;

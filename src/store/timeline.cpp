@@ -12,8 +12,8 @@ std::vector<TimelineEntry> incident_timeline(
 
   FlowQuery flows;
   flows.about_host(host).between(from, to);
-  for (const auto* stored : store.query(flows)) {
-    const auto& f = stored->flow;
+  for (const auto& stored : store.query(flows)) {
+    const auto& f = stored.flow;
     const auto label = f.majority_label();
     if (label == packet::TrafficLabel::kBenign &&
         f.bytes < options.min_benign_flow_bytes)
@@ -35,11 +35,11 @@ std::vector<TimelineEntry> incident_timeline(
   logs.subject = host;
   logs.from = from;
   logs.to = to;
-  for (const auto* ev : store.query_logs(logs)) {
-    timeline.push_back(TimelineEntry{ev->ts,
+  for (const auto& ev : store.query_logs(logs)) {
+    timeline.push_back(TimelineEntry{ev.ts,
                                      TimelineEntry::Kind::kLogEvent,
-                                     ev->severity, ev->source,
-                                     ev->message});
+                                     ev.severity, ev.source,
+                                     ev.message});
   }
 
   std::stable_sort(timeline.begin(), timeline.end(),

@@ -43,7 +43,7 @@ TEST(Sensors, PortScanLightsUpTheFirewall) {
   q.source = "firewall";
   const auto events = bed.store().query_logs(q);
   ASSERT_GT(events.size(), 500u);
-  EXPECT_NE(events[0]->message.find("blocked"), std::string::npos);
+  EXPECT_NE(events[0].message.find("blocked"), std::string::npos);
 }
 
 TEST(Sensors, BruteForceFillsTheAuthLog) {

@@ -81,7 +81,7 @@ TEST_F(StoreFixture, QueryByLabel) {
   q.with_label(TrafficLabel::kDnsAmplification);
   const auto results = store_.query(q);
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_EQ(results[0]->flow.packets, 1000u);
+  EXPECT_EQ(results[0].flow.packets, 1000u);
   FlowQuery benign;
   benign.with_label(TrafficLabel::kBenign);
   EXPECT_EQ(store_.query(benign).size(), 3u);
@@ -101,7 +101,7 @@ TEST_F(StoreFixture, ConjunctionOfPredicates) {
   q.min_bytes = 1'000'000;
   const auto results = store_.query(q);
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_EQ(results[0]->flow.majority_label(),
+  EXPECT_EQ(results[0].flow.majority_label(),
             TrafficLabel::kDnsAmplification);
 }
 
@@ -219,6 +219,233 @@ TEST(DataStore, LogEventsQueryable) {
   windowed.from = Timestamp::from_seconds(1.5);
   windowed.to = Timestamp::from_seconds(2.5);
   EXPECT_EQ(store.query_logs(windowed).size(), 1u);
+}
+
+// ------------------------------------------------------------- planner
+
+TEST(QueryPlanner, RanksIndexesBySelectivity) {
+  FlowQuery scan;
+  EXPECT_EQ(planned_index(scan), IndexKind::kTimeScan);
+
+  FlowQuery by_port;
+  by_port.on_port(443);
+  EXPECT_EQ(planned_index(by_port), IndexKind::kPort);
+
+  FlowQuery by_label = std::move(by_port);
+  by_label.with_label(TrafficLabel::kPortScan);
+  EXPECT_EQ(planned_index(by_label), IndexKind::kLabel);
+
+  // An exact host beats everything, whichever side it is pinned to.
+  FlowQuery by_host = by_label;
+  by_host.about_host(kAlice);
+  EXPECT_EQ(planned_index(by_host), IndexKind::kHost);
+  FlowQuery by_src;
+  by_src.src = kAlice;
+  EXPECT_EQ(planned_index(by_src), IndexKind::kHost);
+  FlowQuery by_dst;
+  by_dst.dst = kAlice;
+  EXPECT_EQ(planned_index(by_dst), IndexKind::kHost);
+
+  // Time bounds alone never select an inverted index.
+  FlowQuery windowed;
+  windowed.between(Timestamp::from_seconds(1), Timestamp::from_seconds(2));
+  windowed.min_bytes = 100;
+  EXPECT_EQ(planned_index(windowed), IndexKind::kTimeScan);
+}
+
+TEST_F(StoreFixture, QueryStatsReportPlanAndWork) {
+  FlowQuery q;
+  q.about_host(kAlice);
+  const auto r = store_.query(q);
+  EXPECT_EQ(r.stats().index, IndexKind::kHost);
+  EXPECT_EQ(r.stats().segments_pinned, 1u);
+  EXPECT_EQ(r.stats().segments_scanned, 1u);
+  // The fixture's open segment is unsealed, so the scan is linear and
+  // index_hits stays zero; rows_scanned covers the pinned prefix.
+  EXPECT_EQ(r.stats().index_hits, 0u);
+  EXPECT_EQ(r.stats().rows_scanned, 4u);
+
+  DataStoreConfig cfg;
+  cfg.segment_flows = 2;  // seal segments so indexes engage
+  DataStore sealed(cfg);
+  for (int i = 0; i < 4; ++i)
+    sealed.ingest(make_flow(i, i + 1, kAlice, kServer,
+                            static_cast<std::uint16_t>(1000 + i), 443));
+  const auto rs = sealed.query(q);
+  EXPECT_EQ(rs.size(), 4u);
+  EXPECT_EQ(rs.stats().index, IndexKind::kHost);
+  EXPECT_EQ(rs.stats().index_hits, 4u);
+
+  FlowQuery pruned;
+  pruned.between(Timestamp::from_seconds(100),
+                 Timestamp::from_seconds(200));
+  const auto rp = sealed.query(pruned);
+  EXPECT_TRUE(rp.empty());
+  EXPECT_EQ(rp.stats().segments_scanned, 0u);  // all time-pruned
+}
+
+// ------------------------------------------------------------ builders
+
+TEST_F(StoreFixture, RvalueBuilderChainIsOneExpression) {
+  const auto r = store_.query(FlowQuery{}
+                                  .about_host(kAlice)
+                                  .with_proto(17)
+                                  .at_least_bytes(1'000'000)
+                                  .top(3));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.front().flow.majority_label(),
+            TrafficLabel::kDnsAmplification);
+}
+
+TEST_F(StoreFixture, NewPredicateBuilders) {
+  // since(): open-ended lower bound, overlap semantics.
+  EXPECT_EQ(store_.query(FlowQuery{}.since(Timestamp::from_seconds(3)))
+                .size(),
+            3u);  // flows [2,3], [3,4] and [10,20] all reach t>=3
+  // with_proto()
+  EXPECT_EQ(store_.query(FlowQuery{}.with_proto(17)).size(), 2u);
+  // at_least_bytes()
+  EXPECT_EQ(store_.query(FlowQuery{}.at_least_bytes(1'000'000)).size(),
+            1u);
+  // from_direction(): fixture flows all default to kInbound.
+  EXPECT_EQ(
+      store_.query(FlowQuery{}.from_direction(sim::Direction::kOutbound))
+          .size(),
+      0u);
+  EXPECT_EQ(
+      store_.query(FlowQuery{}.from_direction(sim::Direction::kInbound))
+          .size(),
+      4u);
+}
+
+TEST(LogQueryBuilders, ChainAndFilter) {
+  DataStore store;
+  store.ingest_log(LogEvent{Timestamp::from_seconds(1), "firewall", 2,
+                            kAlice, "blocked"});
+  store.ingest_log(LogEvent{Timestamp::from_seconds(2), "firewall", 0,
+                            kBob, "allowed"});
+  store.ingest_log(LogEvent{Timestamp::from_seconds(3), "ids", 3, kAlice,
+                            "match"});
+  const auto r = store.query_logs(LogQuery{}
+                                      .from_source("firewall")
+                                      .at_least_severity(1)
+                                      .about_subject(kAlice)
+                                      .top(10));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].message, "blocked");
+  EXPECT_EQ(store.query_logs(LogQuery{}.since(Timestamp::from_seconds(2)))
+                .size(),
+            2u);
+}
+
+// ------------------------------------------------------- QueryResult
+
+TEST_F(StoreFixture, ResultIsIterableAndIndexable) {
+  const auto r = store_.query(FlowQuery{});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_FALSE(r.empty());
+  std::vector<std::uint64_t> ids;
+  for (const auto& stored : r) ids.push_back(stored.id);
+  ASSERT_EQ(ids.size(), 4u);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r[i].id, ids[i]);
+  EXPECT_EQ(r.front().id, ids.front());
+  EXPECT_EQ(r.back().id, ids.back());
+  // Iterator -> works too (drop-in for the old pointer loops).
+  EXPECT_EQ(r.begin()->id, ids.front());
+}
+
+// ----------------------------------------------------------- cursor
+
+TEST_F(StoreFixture, CursorStreamsSameRowsAsQuery) {
+  FlowQuery q;
+  q.about_host(kAlice);
+  const auto materialized = store_.query(q);
+  auto cur = store_.open_cursor(q);
+  std::size_t i = 0;
+  while (cur.next()) {
+    ASSERT_LT(i, materialized.size());
+    EXPECT_EQ(cur.current().id, materialized[i].id);
+    ++i;
+  }
+  EXPECT_EQ(i, materialized.size());
+  EXPECT_EQ(cur.produced(), materialized.size());
+  EXPECT_FALSE(cur.next());  // exhausted stays exhausted
+}
+
+TEST(QueryCursor, RespectsLimitAndSpansSegments) {
+  DataStoreConfig cfg;
+  cfg.segment_flows = 10;
+  DataStore store(cfg);
+  for (int i = 0; i < 35; ++i)
+    store.ingest(make_flow(i, i + 0.5, kAlice, kServer,
+                           static_cast<std::uint16_t>(1000 + i), 443));
+  auto cur = store.open_cursor(FlowQuery{}.about_host(kAlice).top(25));
+  std::uint64_t last_id = 0;
+  std::size_t n = 0;
+  while (cur.next()) {
+    EXPECT_GT(cur.current().id, last_id);  // ingest order
+    last_id = cur.current().id;
+    ++n;
+  }
+  EXPECT_EQ(n, 25u);
+  EXPECT_GE(cur.stats().segments_scanned, 3u);
+}
+
+// ------------------------------------------------------- aggregation
+
+TEST_F(StoreFixture, AggregateByHostCreditsBothEndpoints) {
+  const auto agg = store_.aggregate(FlowQuery{}, GroupBy::kHost);
+  EXPECT_EQ(agg.matched_flows, 4u);
+  auto row_for = [&](const Ipv4Address& a) -> const AggregateRow* {
+    for (const auto& row : agg.rows)
+      if (row.host() == a) return &row;
+    return nullptr;
+  };
+  const auto* alice = row_for(kAlice);
+  ASSERT_NE(alice, nullptr);
+  EXPECT_EQ(alice->flows, 3u);  // two as src, one as dst
+  EXPECT_EQ(alice->bytes, 5000u + 5000u + 3'000'000u);
+  const auto* server = row_for(kServer);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->flows, 2u);
+  // Heaviest host first (ties broken by key).
+  for (std::size_t i = 1; i < agg.rows.size(); ++i)
+    EXPECT_GE(agg.rows[i - 1].bytes, agg.rows[i].bytes);
+}
+
+TEST_F(StoreFixture, AggregateByLabelAndPort) {
+  const auto by_label = store_.aggregate(FlowQuery{}, GroupBy::kLabel);
+  ASSERT_EQ(by_label.rows.size(), 2u);
+  EXPECT_EQ(by_label.rows[0].label(), TrafficLabel::kDnsAmplification);
+  EXPECT_EQ(by_label.rows[0].flows, 1u);
+  EXPECT_EQ(by_label.rows[1].label(), TrafficLabel::kBenign);
+  EXPECT_EQ(by_label.rows[1].flows, 3u);
+
+  const auto by_port = store_.aggregate(FlowQuery{}, GroupBy::kPort);
+  auto port_row = [&](std::uint16_t p) -> const AggregateRow* {
+    for (const auto& row : by_port.rows)
+      if (row.port() == p) return &row;
+    return nullptr;
+  };
+  ASSERT_NE(port_row(443), nullptr);
+  EXPECT_EQ(port_row(443)->flows, 2u);
+  ASSERT_NE(port_row(53), nullptr);
+  EXPECT_EQ(port_row(53)->flows, 2u);
+}
+
+TEST_F(StoreFixture, AggregateTopKIsHeavyHitters) {
+  const auto top1 = store_.aggregate(FlowQuery{}, GroupBy::kHost, 1);
+  ASSERT_EQ(top1.rows.size(), 1u);
+  // The 3 MB amplification flow dominates; both its endpoints carry it,
+  // and kAlice additionally carries 10 KB of web traffic.
+  EXPECT_EQ(top1.rows[0].host(), kAlice);
+  const auto full = store_.aggregate(FlowQuery{}, GroupBy::kHost);
+  EXPECT_EQ(top1.rows[0].bytes, full.rows[0].bytes);
+  // A filter narrows what is aggregated; its limit is ignored.
+  FlowQuery benign;
+  benign.with_label(TrafficLabel::kBenign).top(1);
+  const auto agg = store_.aggregate(benign, GroupBy::kLabel);
+  EXPECT_EQ(agg.matched_flows, 3u);
 }
 
 // Property: for random stores, every indexed query returns exactly the
