@@ -19,9 +19,12 @@
 // *deployable* model down and keeps the heavyweight model offline.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <limits>
 
 #include "campuslab/control/development_loop.h"
 #include "campuslab/ml/metrics.h"
+#include "campuslab/store/datastore.h"
 #include "campuslab/testbed/testbed.h"
 
 using namespace campuslab;
@@ -139,5 +142,76 @@ int main() {
       "packet reaction must live in the data plane, which is exactly "
       "what Figure 2's split (offline development, online control) "
       "encodes. The cloud tier is where the *development loop* belongs.");
+
+  // The same placement question for data at rest: recent segments stay
+  // hot in the store's RAM tier for interactive queries; older ones
+  // spill to columnar files and are decoded only when a query's time
+  // window actually reaches them. The table prices that trade.
+  {
+    const std::string dir = "/tmp/campuslab_tier_placement_store";
+    std::filesystem::remove_all(dir);
+    store::DataStoreConfig scfg;
+    scfg.segment_flows = 5'000;
+    scfg.spill_directory = dir;
+    scfg.hot_bytes_budget = std::numeric_limits<std::uint64_t>::max();
+    store::DataStore flows(scfg);
+    Rng srng(12006);
+    capture::FlowRecord f;
+    for (int i = 0; i < 50'000; ++i) {
+      f.tuple = packet::FiveTuple{
+          packet::Ipv4Address(
+              static_cast<std::uint32_t>(0x0A020000 + srng.below(256))),
+          packet::Ipv4Address(0xC0000201), 40'000,
+          static_cast<std::uint16_t>(srng.chance(0.1) ? 53 : 443), 6};
+      f.first_ts = Timestamp::from_seconds(i * 0.01);
+      f.last_ts = f.first_ts + Duration::from_seconds(0.05);
+      f.packets = 1 + srng.below(100);
+      f.bytes = f.packets * 800;
+      flows.ingest(f);
+    }
+    store::FlowQuery scan;
+    scan.min_bytes = 1ULL << 40;  // matches nothing: pure scan cost
+    auto scan_ns = [&] {
+      double best = 1e300;
+      for (int r = 0; r < 5; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = flows.query(scan);
+        const auto t1 = std::chrono::steady_clock::now();
+        asm volatile("" : : "r"(res.size()));
+        best = std::min(
+            best, static_cast<double>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          t1 - t0)
+                          .count()) /
+                      50'000.0);
+      }
+      return best;
+    };
+    const double hot_ns = scan_ns();
+    const std::uint64_t hot_bytes = flows.hot_bytes();
+    const std::size_t spilled = flows.spill();
+    std::uint64_t disk_bytes = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir))
+      disk_bytes += e.file_size();
+    const double cold_ns = scan_ns();
+
+    std::printf("\n=== storage tier of the same store "
+                "(50k flows, %zu segments) ===\n", spilled);
+    std::printf("%-14s %-16s %-14s\n", "tier", "scan ns/flow",
+                "bytes/flow");
+    std::printf("%-14s %-16.1f %-14.1f\n", "hot (RAM)", hot_ns,
+                static_cast<double>(hot_bytes) / 50'000.0);
+    std::printf("%-14s %-16.1f %-14.1f\n", "cold (disk)", cold_ns,
+                static_cast<double>(disk_bytes) / 50'000.0);
+    std::printf(
+        "shape: the cold tier trades a one-time decode (%.0fx the hot "
+        "scan) for a %.1fx smaller resident footprint — so retention "
+        "depth is priced in cheap disk, and zone maps keep most "
+        "historical queries from ever paying the decode.\n",
+        cold_ns / std::max(hot_ns, 1.0),
+        static_cast<double>(hot_bytes) /
+            static_cast<double>(std::max<std::uint64_t>(disk_bytes, 1)));
+    std::filesystem::remove_all(dir);
+  }
   return 0;
 }

@@ -1,11 +1,13 @@
 #include "campuslab/store/datastore.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "campuslab/obs/registry.h"
 #include "campuslab/obs/stage_timer.h"
 #include "campuslab/resilience/fault.h"
 #include "campuslab/store/query_engine.h"
+#include "campuslab/store/segment_file.h"
 
 namespace campuslab::store {
 
@@ -23,6 +25,16 @@ struct StoreMetrics {
       obs::Registry::global().counter("store.index_hits");
   obs::Counter& rows_returned =
       obs::Registry::global().counter("store.rows_returned");
+  // Tiering.
+  obs::Counter& spills = obs::Registry::global().counter("store.spills");
+  obs::Counter& spill_failures =
+      obs::Registry::global().counter("store.spill_failures");
+  obs::Counter& spill_bytes =
+      obs::Registry::global().counter("store.spill_bytes_total");
+  obs::Gauge& cold_segments =
+      obs::Registry::global().gauge("store.cold_segments");
+  obs::Histogram& spill_ns =
+      obs::Registry::global().histogram("store_spill_ns");
 
   static StoreMetrics& get() {
     static StoreMetrics m;
@@ -56,9 +68,13 @@ ScanPool* DataStore::configured_pool() const {
 }
 
 Segment& DataStore::open_segment_locked() {
-  if (segments_.empty() || segments_.back()->sealed)
-    segments_.push_back(std::make_shared<Segment>(config_.segment_flows));
-  return *segments_.back();
+  // The back slot is the only one that can be the open tail; a spilled
+  // back (hot == nullptr) is sealed by construction.
+  if (segments_.empty() || segments_.back().hot == nullptr ||
+      segments_.back().hot->sealed)
+    segments_.push_back(TieredSegment{
+        std::make_shared<Segment>(config_.segment_flows), nullptr});
+  return *segments_.back().hot;
 }
 
 void DataStore::index_flow(Segment& seg, const StoredFlow& stored,
@@ -79,27 +95,38 @@ std::uint64_t DataStore::ingest(const capture::FlowRecord& flow) {
   obs::StageTimer stage_timer(metrics.ingest_ns);
   metrics.ingested.increment();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& seg = open_segment_locked();
-  StoredFlow stored{next_id_++, flow};
+  std::uint64_t id = 0;
+  bool sealed_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& seg = open_segment_locked();
+    StoredFlow stored{next_id_++, flow};
 
-  // Data cleaning: a flow whose timestamps are inverted (possible only
-  // through producer bugs) is normalized rather than stored broken.
-  if (stored.flow.last_ts < stored.flow.first_ts)
-    stored.flow.last_ts = stored.flow.first_ts;
+    // Data cleaning: a flow whose timestamps are inverted (possible only
+    // through producer bugs) is normalized rather than stored broken.
+    if (stored.flow.last_ts < stored.flow.first_ts)
+      stored.flow.last_ts = stored.flow.first_ts;
 
-  seg.min_ts = std::min(seg.min_ts, stored.flow.first_ts);
-  seg.max_ts = std::max(seg.max_ts, stored.flow.last_ts);
-  const auto offset = static_cast<std::uint32_t>(seg.flows.size());
-  // push_back never reallocates: capacity was reserved up front and
-  // the segment seals exactly at capacity (snapshot.h relies on this).
-  seg.flows.push_back(std::move(stored));
-  index_flow(seg, seg.flows.back(), offset);
+    seg.min_ts = std::min(seg.min_ts, stored.flow.first_ts);
+    seg.max_ts = std::max(seg.max_ts, stored.flow.last_ts);
+    const auto offset = static_cast<std::uint32_t>(seg.flows.size());
+    // push_back never reallocates: capacity was reserved up front and
+    // the segment seals exactly at capacity (snapshot.h relies on this).
+    seg.flows.push_back(std::move(stored));
+    index_flow(seg, seg.flows.back(), offset);
 
-  total_flows_.fetch_add(1, std::memory_order_release);
-  ++label_counts_[static_cast<std::size_t>(flow.majority_label())];
-  if (seg.flows.size() >= config_.segment_flows) seg.sealed = true;
-  return seg.flows.back().id;
+    total_flows_.fetch_add(1, std::memory_order_release);
+    ++label_counts_[static_cast<std::size_t>(flow.majority_label())];
+    if (seg.flows.size() >= config_.segment_flows) {
+      seg.sealed = true;
+      sealed_now = true;
+    }
+    id = seg.flows.back().id;
+  }
+  // Spill outside the lock: serialization is the expensive part and
+  // sealed segments are immutable, so queries keep flowing meanwhile.
+  if (sealed_now) enforce_hot_budget();
+  return id;
 }
 
 void DataStore::ingest_log(LogEvent event) {
@@ -110,10 +137,18 @@ void DataStore::ingest_log(LogEvent event) {
 StoreSnapshot DataStore::snapshot_locked() const {
   std::vector<PinnedSegment> pins;
   pins.reserve(segments_.size());
-  for (const auto& seg : segments_) {
-    if (seg->flows.empty()) continue;
-    pins.push_back(PinnedSegment{
-        seg, static_cast<std::uint32_t>(seg->flows.size()), seg->sealed});
+  for (const auto& tier : segments_) {
+    if (tier.hot != nullptr) {
+      if (tier.hot->flows.empty()) continue;
+      pins.push_back(PinnedSegment{
+          tier.hot, static_cast<std::uint32_t>(tier.hot->flows.size()),
+          tier.hot->sealed, nullptr});
+    } else {
+      // Cold pin: the handle carries the zone map; the query engine
+      // prunes/loads it lazily. Spilled segments are always sealed.
+      pins.push_back(PinnedSegment{nullptr, tier.cold->zone().flow_count,
+                                   true, tier.cold});
+    }
   }
   return StoreSnapshot(std::move(pins));
 }
@@ -187,7 +222,18 @@ void DataStore::for_each(
     const std::function<void(const StoredFlow&)>& fn) const {
   const auto snap = snapshot();
   for (const auto& pin : snap.segments()) {
-    const StoredFlow* flows = pin.segment->flows.data();
+    // Cold segments load one at a time and release before the next:
+    // a full-store export stays O(one segment) of resident cold data.
+    std::shared_ptr<const Segment> loaded;
+    const Segment* seg = pin.segment.get();
+    if (seg == nullptr) {
+      if (pin.cold == nullptr) continue;
+      auto r = pin.cold->load();
+      if (!r.ok()) continue;  // counted in store.cold_load_failures
+      loaded = std::move(r).value();
+      seg = loaded.get();
+    }
+    const StoredFlow* flows = seg->flows.data();
     for (std::uint32_t i = 0; i < pin.count; ++i) fn(flows[i]);
   }
 }
@@ -196,15 +242,29 @@ std::uint64_t DataStore::enforce_retention(Timestamp now) {
   const Timestamp horizon = now - config_.retention;
   std::uint64_t evicted = 0;
   std::lock_guard<std::mutex> lock(mu_);
-  while (!segments_.empty() && segments_.front()->sealed &&
-         segments_.front()->max_ts < horizon) {
-    for (const auto& stored : segments_.front()->flows) {
-      --label_counts_[static_cast<std::size_t>(
-          stored.flow.majority_label())];
-      ++evicted;
+  while (!segments_.empty()) {
+    const TieredSegment& front = segments_.front();
+    if (front.hot != nullptr) {
+      if (!front.hot->sealed || !(front.hot->max_ts < horizon)) break;
+      for (const auto& stored : front.hot->flows) {
+        --label_counts_[static_cast<std::size_t>(
+            stored.flow.majority_label())];
+        ++evicted;
+      }
+      total_flows_.fetch_sub(front.hot->flows.size(),
+                             std::memory_order_release);
+    } else {
+      // Cold eviction needs no I/O: the zone map carries the horizon
+      // check and the per-label counts. Dropping the reference unlinks
+      // the file once the last pinned snapshot releases the handle.
+      const SegmentZoneMap& zone = front.cold->zone();
+      if (!(zone.max_ts < horizon)) break;
+      for (std::size_t l = 0; l < zone.label_flows.size(); ++l)
+        label_counts_[l] -= zone.label_flows[l];
+      evicted += zone.flow_count;
+      total_flows_.fetch_sub(zone.flow_count, std::memory_order_release);
+      StoreMetrics::get().cold_segments.add(-1);
     }
-    total_flows_.fetch_sub(segments_.front()->flows.size(),
-                           std::memory_order_release);
     segments_.pop_front();  // pinned snapshots keep the segment alive
   }
   while (!logs_.empty() && logs_.front().ts < horizon) {
@@ -228,23 +288,136 @@ CatalogInfo DataStore::catalog() const {
     snap = snapshot_locked();
   }
   bool first = true;
+  auto widen = [&](Timestamp lo, Timestamp hi) {
+    if (first) {
+      info.earliest = lo;
+      info.latest = hi;
+      first = false;
+    } else {
+      info.earliest = std::min(info.earliest, lo);
+      info.latest = std::max(info.latest, hi);
+    }
+  };
   for (const auto& pin : snap.segments()) {
+    if (pin.segment == nullptr) {
+      // Cold segments are cataloged from their zone maps — no I/O.
+      if (pin.cold == nullptr) continue;
+      const SegmentZoneMap& zone = pin.cold->zone();
+      ++info.cold_segments;
+      info.total_packets += zone.packets;
+      info.total_bytes += zone.bytes;
+      if (zone.flow_count > 0) widen(zone.min_ts, zone.max_ts);
+      continue;
+    }
     const StoredFlow* flows = pin.segment->flows.data();
     for (std::uint32_t i = 0; i < pin.count; ++i) {
       const auto& f = flows[i].flow;
       info.total_packets += f.packets;
       info.total_bytes += f.bytes;
-      if (first) {
-        info.earliest = f.first_ts;
-        info.latest = f.last_ts;
-        first = false;
-      } else {
-        info.earliest = std::min(info.earliest, f.first_ts);
-        info.latest = std::max(info.latest, f.last_ts);
-      }
+      widen(f.first_ts, f.last_ts);
     }
   }
   return info;
+}
+
+// ------------------------------------------------------------- tiering
+
+std::uint64_t DataStore::hot_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& tier : segments_)
+    if (tier.hot != nullptr) total += segment_memory_bytes(*tier.hot);
+  return total;
+}
+
+void DataStore::enforce_hot_budget() {
+  if (config_.spill_directory.empty()) return;
+  if (config_.hot_bytes_budget == 0) {
+    spill();  // spill-at-seal: everything sealed goes cold
+    return;
+  }
+  while (hot_bytes() > config_.hot_bytes_budget)
+    if (spill(1) == 0) break;  // nothing sealed left, or disk down
+}
+
+std::size_t DataStore::spill(std::size_t max_segments) {
+  if (config_.spill_directory.empty()) return 0;
+  std::size_t spilled = 0;
+  while (spilled < max_segments) {
+    // Oldest sealed hot segment first: retention evicts oldest-first
+    // too, so the hot tier converges to "the open tail plus whatever
+    // the budget allows".
+    std::shared_ptr<Segment> victim;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& tier : segments_) {
+        if (tier.hot != nullptr && tier.hot->sealed) {
+          victim = tier.hot;
+          break;
+        }
+      }
+    }
+    if (victim == nullptr) break;
+    if (!spill_segment(victim)) break;
+    ++spilled;
+  }
+  return spilled;
+}
+
+bool DataStore::spill_segment(const std::shared_ptr<Segment>& victim) {
+  auto& metrics = StoreMetrics::get();
+  const std::uint64_t first_id = victim->flows.front().id;
+  std::error_code ec;
+  std::filesystem::create_directories(config_.spill_directory, ec);
+  const std::string path = config_.spill_directory + "/seg-" +
+                           std::to_string(first_id) + ".clseg";
+
+  // Serialize outside the store lock (the victim is sealed, hence
+  // immutable), with retry/backoff around the fault site; exhaustion
+  // degrades gracefully — the segment simply stays hot.
+  Rng rng(config_.spill_seed ^ first_id);
+  SegmentFileInfo info;
+  const auto t0 = obs::monotonic_ns();
+  const Status status = resilience::retry_status(
+      config_.spill_retry, rng, "store.spill", [&]() -> Status {
+        if (Status injected =
+                resilience::fault_point_status("store.spill");
+            !injected.ok())
+          return injected;
+        auto written = write_segment_file(*victim, path);
+        if (!written.ok()) return written.error();
+        info = std::move(written).value();
+        return Status::success();
+      });
+  if (!status.ok()) {
+    metrics.spill_failures.increment();
+    return false;
+  }
+  metrics.spill_ns.observe(obs::monotonic_ns() - t0);
+
+  auto handle = std::make_shared<const ColdSegmentHandle>(
+      path, info.zone, info.file_bytes, /*owns_file=*/true);
+  bool swapped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& tier : segments_) {
+      if (tier.hot == victim) {
+        tier.hot = nullptr;
+        tier.cold = handle;
+        swapped = true;
+        break;
+      }
+    }
+  }
+  if (!swapped) {
+    // Retention raced the write and already evicted the segment; the
+    // handle (sole owner) unlinks the file on destruction here.
+    return true;
+  }
+  metrics.spills.increment();
+  metrics.spill_bytes.add(info.file_bytes);
+  metrics.cold_segments.add(1);
+  return true;
 }
 
 }  // namespace campuslab::store

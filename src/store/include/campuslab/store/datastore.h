@@ -23,11 +23,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "campuslab/resilience/retry.h"
 #include "campuslab/store/aggregate.h"
 #include "campuslab/store/query.h"
 #include "campuslab/store/query_result.h"
@@ -44,6 +46,23 @@ struct DataStoreConfig {
   /// out per call (1 = serial). The worker pool is created lazily on
   /// the first parallel query and shared by all queries on this store.
   std::size_t query_threads = 1;
+
+  // --- Tiered storage ---------------------------------------------
+  /// When non-empty, sealed segments spill to columnar files
+  /// (segment_file.h) in this directory and the RAM copy is dropped;
+  /// queries transparently read both tiers. Empty = everything stays
+  /// hot (the pre-tiering behaviour).
+  std::string spill_directory;
+  /// Hot-tier RAM target in bytes. 0 = spill every segment as it
+  /// seals; otherwise sealed segments spill oldest-first until the
+  /// estimated hot footprint is back under the budget. Ignored when
+  /// spill_directory is empty.
+  std::uint64_t hot_bytes_budget = 0;
+  /// Backoff for transient spill failures (disk blips, injected
+  /// faults). Exhaustion degrades gracefully: the segment stays hot.
+  resilience::RetryPolicy spill_retry;
+  /// Seeds the retry jitter so fault-injection tests replay exactly.
+  std::uint64_t spill_seed = 0x5B111;
 };
 
 /// The §5 metadata catalog: what the store holds, over what span.
@@ -53,6 +72,7 @@ struct CatalogInfo {
   std::uint64_t total_bytes = 0;
   std::uint64_t total_log_events = 0;
   std::size_t segments = 0;
+  std::size_t cold_segments = 0;  // of `segments`, spilled to disk
   Timestamp earliest;
   Timestamp latest;
   std::array<std::uint64_t, packet::kTrafficLabelCount> flows_per_label{};
@@ -109,8 +129,22 @@ class DataStore {
 
   /// Drop whole segments entirely older than now - retention.
   /// Returns flows evicted. Snapshots pinned before the call keep
-  /// their segments alive until released.
+  /// their segments alive until released — including spilled segments,
+  /// whose files are unlinked only when the last pin lets go.
   std::uint64_t enforce_retention(Timestamp now);
+
+  /// Spill up to `max_segments` sealed hot segments (oldest first) to
+  /// the configured spill directory, dropping their RAM copies.
+  /// Returns how many actually moved; 0 when tiering is disabled,
+  /// nothing is sealed-and-hot, or the disk kept failing (in which
+  /// case the segments stay hot — graceful degradation, counted in
+  /// `store.spill_failures`). Same single-writer contract as ingest().
+  std::size_t spill(
+      std::size_t max_segments = std::numeric_limits<std::size_t>::max());
+
+  /// Estimated hot-tier footprint (flow arrays + indexes), the
+  /// quantity hot_bytes_budget meters.
+  std::uint64_t hot_bytes() const;
 
   CatalogInfo catalog() const;
   std::uint64_t size() const noexcept {
@@ -118,15 +152,28 @@ class DataStore {
   }
 
  private:
+  /// One slot in the segment list: exactly one of `hot` / `cold` is
+  /// set. A segment is born hot, seals in place, and may then move to
+  /// the cold tier (spill swaps the pointers under the store mutex).
+  struct TieredSegment {
+    std::shared_ptr<Segment> hot;
+    std::shared_ptr<const ColdSegmentHandle> cold;
+  };
+
   Segment& open_segment_locked();
   StoreSnapshot snapshot_locked() const;
   static void index_flow(Segment& seg, const StoredFlow& stored,
                          std::uint32_t offset);
   ScanPool* configured_pool() const;
+  /// Serialize one sealed hot segment and swap it cold. False = the
+  /// write kept failing and the segment stays hot.
+  bool spill_segment(const std::shared_ptr<Segment>& victim);
+  /// Apply the spill policy after a segment seals.
+  void enforce_hot_budget();
 
   DataStoreConfig config_;
   mutable std::mutex mu_;
-  std::deque<std::shared_ptr<Segment>> segments_;
+  std::deque<TieredSegment> segments_;
   std::deque<LogEvent> logs_;
   std::uint64_t next_id_ = 1;
   std::atomic<std::uint64_t> total_flows_{0};

@@ -30,6 +30,13 @@ struct QueryStats {
   std::size_t index_hits = 0;
   std::size_t rows_scanned = 0;
   std::size_t threads = 1;
+  // Tiering: cold (spilled) segments this query loaded from disk,
+  // pruned via the zone map without any I/O, or failed to load (a
+  // corrupt/vanished file contributes zero rows, never UB — the
+  // counter is how callers detect it).
+  std::size_t cold_loaded = 0;
+  std::size_t cold_pruned = 0;
+  std::size_t cold_load_failures = 0;
 };
 
 /// Materialized flow-query result: iterable, indexable, and alive for

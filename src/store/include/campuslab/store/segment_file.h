@@ -1,0 +1,189 @@
+// SegmentFile — the columnar on-disk form of a sealed store segment.
+//
+// Sealed segments are immutable and address-stable, which makes them
+// the store's spill unit: serialize once, drop the RAM copy, map the
+// file back on demand. The format is column-oriented so each field
+// compresses with the encoding that fits it — delta/varint timestamps
+// and ids, a shared dictionary for host addresses, a dictionary for
+// protocols, bit-packed flags — and the per-segment inverted indexes
+// (host / port / label) are serialized alongside the columns so a
+// reloaded segment answers index queries identically to the hot
+// original, without re-indexing.
+//
+// File layout (all integers big-endian; varints are LEB128):
+//
+//   +----------------------------------------------------------+
+//   | magic "CLSEG01\n" (8)  version u32  flags u32            |
+//   | payload_size u64       payload_fnv1a u64                 |
+//   | zone map: flow_count u32, min_ts i64, max_ts i64,        |
+//   |   id_lo u64, id_hi u64, packets u64, bytes u64,          |
+//   |   label_flows[kTrafficLabelCount] u64                    |
+//   | header_fnv1a u64                                         |
+//   +----------------------------------------------------------+
+//   | payload: columns then indexes (see segment_file.cpp)     |
+//   +----------------------------------------------------------+
+//
+// The zone map lives in the header, under its own checksum, so query
+// planning can prune a whole file on [min_ts, max_ts] — and retention
+// and the catalog can account for it — without touching the payload.
+//
+// Robustness contract: decoding is total. A truncated, bit-flipped, or
+// otherwise corrupt file yields a clean util::Result error with a
+// stable code ("segment_magic", "segment_version", "segment_truncated",
+// "segment_checksum", "segment_corrupt", "io") — never a crash, an
+// out-of-bounds read, or silently wrong rows. The corruption fuzz
+// suite (segment_corruption_test) pins this under ASAN.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campuslab/store/snapshot.h"
+#include "campuslab/util/result.h"
+
+namespace campuslab::store {
+
+/// Per-file summary statistics, readable without decoding the payload.
+/// min_ts/max_ts bound [first_ts, last_ts] over every stored flow, so
+/// a time predicate that misses [min_ts, max_ts] skips the whole file.
+struct SegmentZoneMap {
+  std::uint32_t flow_count = 0;
+  Timestamp min_ts;  // min first_ts; epoch when the segment is empty
+  Timestamp max_ts;  // max last_ts; epoch when the segment is empty
+  std::uint64_t id_lo = 0;  // first / last stored flow id (0 when empty)
+  std::uint64_t id_hi = 0;
+  std::uint64_t packets = 0;  // totals, for catalog() without I/O
+  std::uint64_t bytes = 0;
+  std::array<std::uint64_t, packet::kTrafficLabelCount> label_flows{};
+};
+
+/// One row of the per-column compression report.
+struct ColumnBytes {
+  std::string name;
+  std::uint64_t file_bytes = 0;    // encoded size on disk
+  std::uint64_t memory_bytes = 0;  // what the column occupies hot
+};
+
+/// What one serialization produced: sizes for accounting and the
+/// per-column breakdown the T-STORE bench prints.
+struct SegmentFileInfo {
+  std::uint64_t file_bytes = 0;     // header + payload
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t memory_bytes = 0;   // estimated hot-tier footprint
+  SegmentZoneMap zone;
+  std::vector<ColumnBytes> columns;
+};
+
+inline constexpr std::uint32_t kSegmentFileVersion = 1;
+inline constexpr std::size_t kSegmentFileHeaderBytes =
+    8 + 4 + 4 + 8 + 8 +                                    // magic..checksum
+    4 + 8 + 8 + 8 + 8 + 8 + 8 +                            // zone scalars
+    8 * packet::kTrafficLabelCount +                       // zone labels
+    8;                                                     // header fnv
+
+/// Serialize a segment (sealed or not — the caller pins what "all of
+/// it" means; the store only ever spills sealed segments) to a byte
+/// buffer. Deterministic: the same segment always encodes to the same
+/// bytes, which is what the golden-format fixture pins.
+std::vector<std::uint8_t> encode_segment(const Segment& segment,
+                                         SegmentFileInfo* info = nullptr);
+
+/// Estimated hot-tier footprint of a segment: the flow array at its
+/// reserved capacity plus the inverted-index postings and hash-node
+/// overhead. This is the quantity the hot-bytes budget meters.
+std::uint64_t segment_memory_bytes(const Segment& segment) noexcept;
+
+/// Decode a full file image back into a Segment. The result is sealed,
+/// indexed, and bit-identical (flows, ids, indexes, time bounds) to
+/// the segment that was encoded.
+Result<std::shared_ptr<Segment>> decode_segment(
+    std::span<const std::uint8_t> file);
+
+/// Parse and validate only the header; no payload I/O beyond its span.
+Result<SegmentZoneMap> decode_zone_map(std::span<const std::uint8_t> file);
+
+/// Atomically (write-then-rename) persist `segment` to `path`.
+Result<SegmentFileInfo> write_segment_file(const Segment& segment,
+                                           const std::string& path);
+
+/// Map `path` and decode it. Errors: "io" for filesystem trouble, the
+/// decode_segment codes for format trouble.
+Result<std::shared_ptr<Segment>> read_segment_file(const std::string& path);
+
+/// Zone map of `path` without decoding the payload.
+Result<SegmentZoneMap> read_zone_map(const std::string& path);
+
+/// Read-only mmap of a whole file (falls back to a buffered read where
+/// mmap is unavailable). The view stays valid for the object's life.
+class MappedFile {
+ public:
+  static Result<MappedFile> open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+
+ private:
+  MappedFile() = default;
+  void reset() noexcept;  // unmap / release, back to the empty state
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;                // true: munmap; false: fallback_
+  std::vector<std::uint8_t> fallback_; // owns bytes when not mmap-backed
+};
+
+/// The store's reference to a spilled segment: the file path, the zone
+/// map for pruning and accounting, and a demand-load cache.
+///
+/// load() decodes the file into a fully indexed in-RAM Segment and
+/// hands back a shared_ptr; the handle itself keeps only a weak
+/// reference, so concurrent queries share one decode while any of them
+/// is live, and the memory is released as soon as the last snapshot
+/// pinning the loaded copy lets go. That is the out-of-core property:
+/// resident cold bytes are bounded by what queries are actively
+/// scanning, not by what the store retains.
+class ColdSegmentHandle {
+ public:
+  /// `owns_file` = unlink the file when the last reference drops. The
+  /// store passes true: retention then merely releases its reference,
+  /// and the file outlives it exactly as long as some snapshot still
+  /// pins the handle — snapshot isolation extends to the disk tier.
+  ColdSegmentHandle(std::string path, SegmentZoneMap zone,
+                    std::uint64_t file_bytes, bool owns_file = false)
+      : path_(std::move(path)), zone_(zone), file_bytes_(file_bytes),
+        owns_file_(owns_file) {}
+  ~ColdSegmentHandle();
+
+  ColdSegmentHandle(const ColdSegmentHandle&) = delete;
+  ColdSegmentHandle& operator=(const ColdSegmentHandle&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  const SegmentZoneMap& zone() const noexcept { return zone_; }
+  std::uint64_t file_bytes() const noexcept { return file_bytes_; }
+
+  /// Decode (or join a live decode of) the file. Thread-safe. Errors
+  /// pass through from read_segment_file.
+  Result<std::shared_ptr<const Segment>> load() const;
+
+ private:
+  std::string path_;
+  SegmentZoneMap zone_;
+  std::uint64_t file_bytes_ = 0;
+  bool owns_file_ = false;
+  mutable std::mutex mu_;
+  mutable std::weak_ptr<const Segment> cache_;
+};
+
+}  // namespace campuslab::store

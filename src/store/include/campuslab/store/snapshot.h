@@ -54,13 +54,24 @@ struct Segment {
       by_label;
 };
 
+class ColdSegmentHandle;  // segment_file.h — the spilled-tier reference
+
 /// A segment as one snapshot sees it: the ownership pin, how many
 /// flows were committed when the snapshot was taken, and whether the
 /// inverted indexes may be consulted (segment sealed at pin time).
+///
+/// Tiering: a spilled segment pins its ColdSegmentHandle instead of a
+/// Segment — `segment` starts null and `cold` carries the zone map.
+/// The query engine prunes on the zone map and, only if the file may
+/// contain matches, loads it and parks the loaded shared_ptr in
+/// `segment`, so rows produced from a cold segment are owned by the
+/// snapshot exactly like hot rows. Both tiers scan identically from
+/// there on.
 struct PinnedSegment {
   std::shared_ptr<const Segment> segment;
   std::uint32_t count = 0;
   bool indexed = false;
+  std::shared_ptr<const ColdSegmentHandle> cold;
 };
 
 /// A consistent, immutable view of the store at one instant. Cheap to
@@ -75,6 +86,11 @@ class StoreSnapshot {
   const std::vector<PinnedSegment>& segments() const noexcept {
     return segments_;
   }
+
+  /// Mutable pins, for the query engine only: resolving a cold segment
+  /// stores the loaded shared_ptr back into its pin so the snapshot
+  /// (and any result holding it) owns what it scanned.
+  std::vector<PinnedSegment>& segments_mut() noexcept { return segments_; }
 
   std::uint64_t flow_count() const noexcept {
     std::uint64_t n = 0;

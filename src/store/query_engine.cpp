@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "campuslab/store/segment_file.h"
+
 namespace campuslab::store {
 
 // ------------------------------------------------------------ ScanPool
@@ -88,14 +90,48 @@ void ScanPool::parallel_for(std::size_t n,
 
 namespace {
 
+// Per-segment tiering outcomes, merged into QueryStats afterwards.
+struct ColdStats {
+  std::size_t loaded = 0;
+  std::size_t pruned = 0;
+  std::size_t load_failures = 0;
+};
+
 // Resolve the access path for one pinned segment: false = the segment
 // contributes nothing (time-pruned or index miss). `candidates`
 // nullptr = linear scan of the pinned prefix.
-bool open_segment_scan(const PinnedSegment& pin, const FlowQuery& q,
+//
+// Cold pins resolve here: the zone map prunes the whole file against
+// the query's time bounds before any I/O; a surviving file is decoded
+// (concurrent queries share one decode through the handle) and the
+// loaded shared_ptr is parked in the pin, so the snapshot — and every
+// result holding it — owns the rows it scanned. From that point a
+// cold segment is scanned by exactly the code that scans a hot one,
+// which is what makes results bit-identical across tiers. A load
+// failure (corrupt or vanished file) contributes zero rows and a
+// cold_load_failures tick, never UB.
+bool open_segment_scan(PinnedSegment& pin, const FlowQuery& q,
                        IndexKind plan,
-                       const std::vector<std::uint32_t>*& candidates) {
+                       const std::vector<std::uint32_t>*& candidates,
+                       ColdStats& cold) {
   candidates = nullptr;
   if (pin.count == 0) return false;
+  if (pin.segment == nullptr) {
+    if (pin.cold == nullptr) return false;
+    const SegmentZoneMap& zone = pin.cold->zone();
+    if ((q.from && zone.max_ts < *q.from) ||
+        (q.to && zone.min_ts > *q.to)) {
+      ++cold.pruned;
+      return false;
+    }
+    auto loaded = pin.cold->load();
+    if (!loaded.ok()) {
+      ++cold.load_failures;
+      return false;
+    }
+    pin.segment = std::move(loaded).value();
+    ++cold.loaded;
+  }
   const Segment& seg = *pin.segment;
   if (pin.indexed) {
     // min/max are stable only once sealed; the open tail is never
@@ -131,12 +167,13 @@ struct SegmentScan {
   std::size_t index_hits = 0;
   std::size_t rows_scanned = 0;
   bool scanned = false;
+  ColdStats cold;
 };
 
-void scan_segment(const PinnedSegment& pin, const FlowQuery& q,
+void scan_segment(PinnedSegment& pin, const FlowQuery& q,
                   IndexKind plan, std::size_t limit, SegmentScan& out) {
   const std::vector<std::uint32_t>* candidates = nullptr;
-  if (!open_segment_scan(pin, q, plan, candidates)) return;
+  if (!open_segment_scan(pin, q, plan, candidates, out.cold)) return;
   out.scanned = true;
   // data() + pinned count, never size()/iterators: the open tail may
   // be appending concurrently (snapshot.h).
@@ -170,7 +207,9 @@ void scan_segment(const PinnedSegment& pin, const FlowQuery& q,
 QueryResult execute_query(StoreSnapshot snapshot, const FlowQuery& q,
                           ScanPool* pool) {
   const IndexKind plan = planned_index(q);
-  const auto& segs = snapshot.segments();
+  // Mutable pins: cold resolution parks loaded segments in them, and
+  // parallel tasks each touch a distinct element (race-free).
+  auto& segs = snapshot.segments_mut();
   std::vector<SegmentScan> partial(segs.size());
   const bool parallel = pool != nullptr && pool->threads() > 1 &&
                         segs.size() > 1;
@@ -197,6 +236,9 @@ QueryResult execute_query(StoreSnapshot snapshot, const FlowQuery& q,
     stats.segments_scanned += part.scanned ? 1 : 0;
     stats.index_hits += part.index_hits;
     stats.rows_scanned += part.rows_scanned;
+    stats.cold_loaded += part.cold.loaded;
+    stats.cold_pruned += part.cold.pruned;
+    stats.cold_load_failures += part.cold.load_failures;
     total += part.rows.size();
   }
   std::vector<const StoredFlow*> rows;
@@ -220,7 +262,7 @@ AggregateResult execute_aggregate(StoreSnapshot snapshot,
   FlowQuery filter = q;
   filter.limit = std::numeric_limits<std::size_t>::max();
   const IndexKind plan = planned_index(filter);
-  const auto& segs = snapshot.segments();
+  auto& segs = snapshot.segments_mut();
 
   struct SegmentAgg {
     std::unordered_map<std::uint64_t, AggregateRow> groups;
@@ -228,14 +270,15 @@ AggregateResult execute_aggregate(StoreSnapshot snapshot,
     std::size_t index_hits = 0;
     std::size_t rows_scanned = 0;
     bool scanned = false;
+    ColdStats cold;
   };
   std::vector<SegmentAgg> partial(segs.size());
 
   auto aggregate_segment = [&](std::size_t idx) {
-    const PinnedSegment& pin = segs[idx];
+    PinnedSegment& pin = segs[idx];
     SegmentAgg& out = partial[idx];
     const std::vector<std::uint32_t>* candidates = nullptr;
-    if (!open_segment_scan(pin, filter, plan, candidates)) return;
+    if (!open_segment_scan(pin, filter, plan, candidates, out.cold)) return;
     out.scanned = true;
     const StoredFlow* flows = pin.segment->flows.data();
     auto credit = [&out](std::uint64_t key, const capture::FlowRecord& f) {
@@ -291,6 +334,9 @@ AggregateResult execute_aggregate(StoreSnapshot snapshot,
     result.stats.segments_scanned += part.scanned ? 1 : 0;
     result.stats.index_hits += part.index_hits;
     result.stats.rows_scanned += part.rows_scanned;
+    result.stats.cold_loaded += part.cold.loaded;
+    result.stats.cold_pruned += part.cold.pruned;
+    result.stats.cold_load_failures += part.cold.load_failures;
     result.matched_flows += part.matched;
     for (const auto& [key, row] : part.groups) {
       AggregateRow& into = merged[key];
@@ -326,11 +372,16 @@ QueryCursor::QueryCursor(StoreSnapshot snapshot, FlowQuery query)
 }
 
 bool QueryCursor::open_next_segment() {
-  const auto& segs = snapshot_.segments();
+  auto& segs = snapshot_.segments_mut();
   while (next_segment_ < segs.size()) {
-    const PinnedSegment& pin = segs[next_segment_++];
-    if (!open_segment_scan(pin, query_, stats_.index, candidates_))
-      continue;
+    PinnedSegment& pin = segs[next_segment_++];
+    ColdStats cold;
+    const bool open =
+        open_segment_scan(pin, query_, stats_.index, candidates_, cold);
+    stats_.cold_loaded += cold.loaded;
+    stats_.cold_pruned += cold.pruned;
+    stats_.cold_load_failures += cold.load_failures;
+    if (!open) continue;
     segment_ = pin.segment.get();
     count_ = pin.count;
     pos_ = 0;

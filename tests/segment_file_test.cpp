@@ -1,0 +1,523 @@
+// SegmentFile round-trip property suite + the golden format fixture.
+//
+// The tiering claim the rest of the store builds on: encode → decode is
+// the identity on segments. Randomized segments (empty, single-flow,
+// max-varint timestamps, duplicate hosts, wide time spans) must come
+// back with bit-identical StoredFlow sequences and identical index and
+// zone-map answers; a store whose segments all spilled must answer
+// queries and aggregations bit-identically to the same store fully in
+// RAM, at several thread counts; and a failing disk must degrade
+// gracefully (segments stay hot, retries counted in obs).
+//
+// The golden fixture (tests/data/golden_segment_v1.clseg) pins the
+// on-disk bytes — magic, version, column layout. An intentional format
+// change regenerates it with CAMPUSLAB_UPDATE_GOLDEN=1 and bumps
+// kSegmentFileVersion; an accidental one fails here loudly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "campuslab/obs/registry.h"
+#include "campuslab/resilience/fault.h"
+#include "campuslab/store/datastore.h"
+#include "campuslab/store/query_engine.h"
+#include "campuslab/store/segment_file.h"
+
+namespace campuslab::store {
+namespace {
+
+using capture::FlowRecord;
+using packet::Ipv4Address;
+using packet::TrafficLabel;
+
+// ------------------------------------------------------------ builders
+
+FlowRecord flow_at(double start_s, Ipv4Address src, Ipv4Address dst,
+                   std::uint16_t sport, std::uint16_t dport,
+                   std::uint8_t proto = 6,
+                   TrafficLabel label = TrafficLabel::kBenign,
+                   std::uint64_t bytes = 1500) {
+  FlowRecord f;
+  f.tuple = packet::FiveTuple{src, dst, sport, dport, proto};
+  f.first_ts = Timestamp::from_seconds(start_s);
+  f.last_ts = Timestamp::from_seconds(start_s + 0.05);
+  f.packets = 3;
+  f.bytes = bytes;
+  f.label_packets[static_cast<std::size_t>(label)] = 3;
+  return f;
+}
+
+FlowRecord random_flow(std::mt19937_64& rng) {
+  FlowRecord f;
+  // Duplicate hosts on purpose: a handful of addresses shared by many
+  // flows exercises the dictionary path.
+  const auto host = [&] {
+    return Ipv4Address(10, 2, static_cast<std::uint8_t>(rng() % 3),
+                       static_cast<std::uint8_t>(rng() % 16));
+  };
+  f.tuple = packet::FiveTuple{
+      host(), host(), static_cast<std::uint16_t>(rng() % 65536),
+      static_cast<std::uint16_t>(rng() % 65536),
+      static_cast<std::uint8_t>(rng() % 4 == 0 ? 17 : 6)};
+  f.initial_direction =
+      rng() & 1 ? sim::Direction::kOutbound : sim::Direction::kInbound;
+  // Wide span: seconds to days apart within one segment.
+  const auto base = static_cast<std::int64_t>(rng() % (86'400ull * 7));
+  f.first_ts = Timestamp::from_seconds(static_cast<double>(base));
+  f.last_ts = f.first_ts + Duration::nanos(static_cast<std::int64_t>(
+                  rng() % 3'600'000'000'000ull));
+  f.packets = rng() % 100'000;
+  f.bytes = rng() % 10'000'000;
+  f.payload_bytes = rng() % 1'000'000;
+  f.fwd_packets = rng() % 50'000;
+  f.rev_packets = rng() % 50'000;
+  f.syn_count = static_cast<std::uint32_t>(rng() % 5);
+  f.synack_count = static_cast<std::uint32_t>(rng() % 5);
+  f.fin_count = static_cast<std::uint32_t>(rng() % 3);
+  f.rst_count = static_cast<std::uint32_t>(rng() % 3);
+  f.psh_count = static_cast<std::uint32_t>(rng() % 40);
+  f.saw_dns = rng() % 5 == 0;
+  if (rng() % 3 != 0)
+    f.label_packets[rng() % packet::kTrafficLabelCount] = 1 + rng() % 1000;
+  return f;
+}
+
+// Mirror of DataStore::index_flow so hand-built segments carry the same
+// inverted indexes a store-built one would.
+void index_flow(Segment& seg, const StoredFlow& stored,
+                std::uint32_t offset) {
+  const auto& f = stored.flow;
+  seg.by_host[f.tuple.src.value()].push_back(offset);
+  if (f.tuple.dst != f.tuple.src)
+    seg.by_host[f.tuple.dst.value()].push_back(offset);
+  seg.by_port[f.tuple.src_port].push_back(offset);
+  if (f.tuple.dst_port != f.tuple.src_port)
+    seg.by_port[f.tuple.dst_port].push_back(offset);
+  seg.by_label[static_cast<std::size_t>(f.majority_label())].push_back(
+      offset);
+}
+
+std::shared_ptr<Segment> make_segment(const std::vector<FlowRecord>& flows,
+                                      std::uint64_t first_id = 1) {
+  auto seg = std::make_shared<Segment>(flows.size());
+  std::uint64_t id = first_id;
+  for (const auto& f : flows) {
+    StoredFlow stored{id++, f};
+    if (stored.flow.last_ts < stored.flow.first_ts)
+      stored.flow.last_ts = stored.flow.first_ts;
+    seg->min_ts = std::min(seg->min_ts, stored.flow.first_ts);
+    seg->max_ts = std::max(seg->max_ts, stored.flow.last_ts);
+    const auto offset = static_cast<std::uint32_t>(seg->flows.size());
+    seg->flows.push_back(stored);
+    index_flow(*seg, seg->flows.back(), offset);
+  }
+  seg->sealed = true;
+  return seg;
+}
+
+// ---------------------------------------------------------- assertions
+
+void expect_flow_equal(const StoredFlow& got, const StoredFlow& want) {
+  EXPECT_EQ(got.id, want.id);
+  const auto& g = got.flow;
+  const auto& w = want.flow;
+  EXPECT_EQ(g.tuple.src, w.tuple.src);
+  EXPECT_EQ(g.tuple.dst, w.tuple.dst);
+  EXPECT_EQ(g.tuple.src_port, w.tuple.src_port);
+  EXPECT_EQ(g.tuple.dst_port, w.tuple.dst_port);
+  EXPECT_EQ(g.tuple.proto, w.tuple.proto);
+  EXPECT_EQ(g.initial_direction, w.initial_direction);
+  EXPECT_EQ(g.first_ts, w.first_ts);
+  EXPECT_EQ(g.last_ts, w.last_ts);
+  EXPECT_EQ(g.packets, w.packets);
+  EXPECT_EQ(g.bytes, w.bytes);
+  EXPECT_EQ(g.payload_bytes, w.payload_bytes);
+  EXPECT_EQ(g.fwd_packets, w.fwd_packets);
+  EXPECT_EQ(g.rev_packets, w.rev_packets);
+  EXPECT_EQ(g.syn_count, w.syn_count);
+  EXPECT_EQ(g.synack_count, w.synack_count);
+  EXPECT_EQ(g.fin_count, w.fin_count);
+  EXPECT_EQ(g.rst_count, w.rst_count);
+  EXPECT_EQ(g.psh_count, w.psh_count);
+  EXPECT_EQ(g.saw_dns, w.saw_dns);
+  EXPECT_EQ(g.label_packets, w.label_packets);
+}
+
+void expect_segment_equal(const Segment& got, const Segment& want) {
+  ASSERT_EQ(got.flows.size(), want.flows.size());
+  for (std::size_t i = 0; i < want.flows.size(); ++i)
+    expect_flow_equal(got.flows[i], want.flows[i]);
+  if (!want.flows.empty()) {
+    EXPECT_EQ(got.min_ts, want.min_ts);
+    EXPECT_EQ(got.max_ts, want.max_ts);
+  }
+  EXPECT_TRUE(got.sealed);
+  // Index answers must be identical, entry for entry.
+  ASSERT_EQ(got.by_host.size(), want.by_host.size());
+  for (const auto& [key, offsets] : want.by_host) {
+    const auto it = got.by_host.find(key);
+    ASSERT_NE(it, got.by_host.end()) << "host key " << key;
+    EXPECT_EQ(it->second, offsets);
+  }
+  ASSERT_EQ(got.by_port.size(), want.by_port.size());
+  for (const auto& [key, offsets] : want.by_port) {
+    const auto it = got.by_port.find(key);
+    ASSERT_NE(it, got.by_port.end()) << "port key " << key;
+    EXPECT_EQ(it->second, offsets);
+  }
+  for (std::size_t l = 0; l < want.by_label.size(); ++l)
+    EXPECT_EQ(got.by_label[l], want.by_label[l]);
+}
+
+void expect_round_trip(const Segment& seg) {
+  SegmentFileInfo info;
+  const auto bytes = encode_segment(seg, &info);
+  auto decoded = decode_segment(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().code << ": "
+                            << decoded.error().message;
+  expect_segment_equal(*decoded.value(), seg);
+
+  // The zone map must answer without the payload, identically.
+  auto zone = decode_zone_map(bytes);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone.value().flow_count, seg.flows.size());
+  EXPECT_EQ(zone.value().flow_count, info.zone.flow_count);
+  std::uint64_t packets = 0, total = 0;
+  for (const auto& s : seg.flows) {
+    packets += s.flow.packets;
+    total += s.flow.bytes;
+  }
+  EXPECT_EQ(zone.value().packets, packets);
+  EXPECT_EQ(zone.value().bytes, total);
+  if (!seg.flows.empty()) {
+    EXPECT_EQ(zone.value().min_ts, seg.min_ts);
+    EXPECT_EQ(zone.value().max_ts, seg.max_ts);
+    EXPECT_EQ(zone.value().id_lo, seg.flows.front().id);
+    EXPECT_EQ(zone.value().id_hi, seg.flows.back().id);
+  }
+}
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / ("campuslab_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// ----------------------------------------------------------- the suite
+
+TEST(SegmentFile, RoundTripEmpty) {
+  Segment seg(0);
+  seg.sealed = true;
+  expect_round_trip(seg);
+}
+
+TEST(SegmentFile, RoundTripSingleFlow) {
+  const auto seg = make_segment(
+      {flow_at(10, Ipv4Address(10, 2, 0, 1), Ipv4Address(192, 0, 2, 9),
+               49152, 443, 6, TrafficLabel::kPortScan, 9001)},
+      42);
+  expect_round_trip(*seg);
+}
+
+TEST(SegmentFile, RoundTripRandomizedSegments) {
+  std::mt19937_64 rng(0xF00D);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<FlowRecord> flows;
+    const std::size_t n = 1 + rng() % 400;
+    flows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) flows.push_back(random_flow(rng));
+    expect_round_trip(*make_segment(flows, 1 + rng() % 1'000'000));
+  }
+}
+
+// Timestamps at the varint/zigzag extremes: the encoder must be total
+// and exact even when deltas wrap the full 64-bit range.
+TEST(SegmentFile, RoundTripExtremeTimestamps) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  auto f1 = flow_at(0, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                    1, 2);
+  f1.first_ts = Timestamp::from_nanos(kMin);
+  f1.last_ts = Timestamp::from_nanos(kMax);  // widest possible duration
+  auto f2 = f1;
+  f2.first_ts = Timestamp::from_nanos(kMax);
+  f2.last_ts = Timestamp::from_nanos(kMax);
+  auto f3 = f1;
+  f3.first_ts = Timestamp::from_nanos(0);
+  f3.last_ts = Timestamp::from_nanos(kMax);
+  f3.packets = std::numeric_limits<std::uint64_t>::max();
+  f3.bytes = std::numeric_limits<std::uint64_t>::max();
+  f3.syn_count = std::numeric_limits<std::uint32_t>::max();
+  expect_round_trip(*make_segment({f1, f2, f3},
+                                  std::numeric_limits<std::uint64_t>::max() -
+                                      8));
+}
+
+TEST(SegmentFile, RoundTripThroughFile) {
+  const auto dir = fresh_dir("segfile_io");
+  std::mt19937_64 rng(7);
+  std::vector<FlowRecord> flows;
+  for (int i = 0; i < 150; ++i) flows.push_back(random_flow(rng));
+  const auto seg = make_segment(flows, 100);
+
+  const std::string path = dir + "/seg.clseg";
+  auto written = write_segment_file(*seg, path);
+  ASSERT_TRUE(written.ok()) << written.error().message;
+  EXPECT_EQ(written.value().file_bytes,
+            std::filesystem::file_size(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  auto loaded = read_segment_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  expect_segment_equal(*loaded.value(), *seg);
+
+  auto zone = read_zone_map(path);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone.value().flow_count, seg->flows.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SegmentFile, ColdHandleSharesOneDecode) {
+  const auto dir = fresh_dir("segfile_handle");
+  const auto seg = make_segment(
+      {flow_at(1, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 5, 6)});
+  const std::string path = dir + "/seg.clseg";
+  auto written = write_segment_file(*seg, path);
+  ASSERT_TRUE(written.ok());
+
+  ColdSegmentHandle handle(path, written.value().zone,
+                           written.value().file_bytes);
+  auto a = handle.load();
+  auto b = handle.load();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().get(), b.value().get());  // cached, one decode
+  const Segment* first = a.value().get();
+  a = Error::make("x", "drop");  // release both references
+  b = Error::make("x", "drop");
+  auto c = handle.load();  // cache expired → a fresh decode
+  ASSERT_TRUE(c.ok());
+  expect_segment_equal(*c.value(), *seg);
+  (void)first;
+  std::filesystem::remove_all(dir);
+}
+
+// Acceptance criterion: an all-spilled store answers queries and
+// aggregations bit-identically to the same store fully in RAM, at
+// multiple thread counts.
+TEST(SegmentFile, SpilledStoreMatchesHotStoreBitIdentical) {
+  const auto dir = fresh_dir("segfile_lossless");
+  DataStoreConfig hot_cfg;
+  hot_cfg.segment_flows = 64;
+  DataStoreConfig cold_cfg = hot_cfg;
+  cold_cfg.spill_directory = dir;
+
+  DataStore hot(hot_cfg);
+  DataStore cold(cold_cfg);
+  std::mt19937_64 rng(0xBEEF);
+  for (int i = 0; i < 1500; ++i) {
+    const auto f = random_flow(rng);
+    hot.ingest(f);
+    cold.ingest(f);
+  }
+  // Everything sealed goes to disk (budget 0 = spill at seal already
+  // did most of it; this catches any sealed tail).
+  cold.spill();
+  const auto catalog = cold.catalog();
+  EXPECT_GT(catalog.cold_segments, 20u);
+  EXPECT_EQ(hot.catalog().total_bytes, catalog.total_bytes);
+  EXPECT_EQ(hot.catalog().total_packets, catalog.total_packets);
+
+  const Ipv4Address host(10, 2, 1, 3);
+  const std::vector<FlowQuery> queries = {
+      FlowQuery{},
+      FlowQuery{}.about_host(host),
+      FlowQuery{}.on_port(443),
+      FlowQuery{}.with_proto(17),
+      FlowQuery{}.between(Timestamp::from_seconds(3600),
+                          Timestamp::from_seconds(7200)),
+      FlowQuery{}.about_host(host).top(13),
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    ScanPool pool(threads);
+    for (const auto& q : queries) {
+      const auto want = hot.query(q, pool);
+      const auto got = cold.query(q, pool);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i)
+        expect_flow_equal(got[i], want[i]);
+      EXPECT_EQ(got.stats().cold_load_failures, 0u);
+
+      const auto agg_want = hot.aggregate(q, GroupBy::kHost, 10, pool);
+      const auto agg_got = cold.aggregate(q, GroupBy::kHost, 10, pool);
+      ASSERT_EQ(agg_got.rows.size(), agg_want.rows.size());
+      EXPECT_EQ(agg_got.matched_flows, agg_want.matched_flows);
+      for (std::size_t i = 0; i < agg_want.rows.size(); ++i) {
+        EXPECT_EQ(agg_got.rows[i].key, agg_want.rows[i].key);
+        EXPECT_EQ(agg_got.rows[i].bytes, agg_want.rows[i].bytes);
+        EXPECT_EQ(agg_got.rows[i].flows, agg_want.rows[i].flows);
+      }
+    }
+  }
+
+  // Cursors stream the same rows from cold storage.
+  auto hot_cur = hot.open_cursor(FlowQuery{}.on_port(443));
+  auto cold_cur = cold.open_cursor(FlowQuery{}.on_port(443));
+  while (hot_cur.next()) {
+    ASSERT_TRUE(cold_cur.next());
+    expect_flow_equal(cold_cur.current(), hot_cur.current());
+  }
+  EXPECT_FALSE(cold_cur.next());
+  std::filesystem::remove_all(dir);
+}
+
+// Zone maps keep retention and narrow-window queries I/O-free: cold
+// files outside the window are pruned without being read.
+TEST(SegmentFile, ZoneMapPrunesColdFilesWithoutIo) {
+  const auto dir = fresh_dir("segfile_prune");
+  DataStoreConfig cfg;
+  cfg.segment_flows = 50;
+  cfg.spill_directory = dir;
+  DataStore store(cfg);
+  // Time-ordered ingest: each segment covers a disjoint ~50 s span.
+  for (int i = 0; i < 1000; ++i)
+    store.ingest(flow_at(i, Ipv4Address(10, 2, 0, 1),
+                         Ipv4Address(10, 2, 0, 2),
+                         static_cast<std::uint16_t>(1024 + i), 443));
+  store.spill();
+
+  {
+    // Scoped: the result pins every cold handle in its snapshot, which
+    // keeps the spill files alive; release it before checking cleanup.
+    const auto narrow = store.query(FlowQuery{}.between(
+        Timestamp::from_seconds(500), Timestamp::from_seconds(520)));
+    EXPECT_EQ(narrow.size(), 21u);
+    EXPECT_GE(narrow.stats().cold_pruned, 17u);  // ~19 of 20 files skipped
+    EXPECT_LE(narrow.stats().cold_loaded, 3u);
+  }
+
+  // Retention over cold segments: no I/O, correct counts, files gone.
+  const auto evicted =
+      store.enforce_retention(Timestamp::from_seconds(1000 + 7 * 86'400));
+  EXPECT_EQ(evicted, 1000u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+// Acceptance criterion: a failing disk degrades gracefully — the
+// segment stays hot and queryable, the retries are counted in obs, and
+// recovery resumes spilling.
+TEST(SegmentFile, FailedSpillKeepsSegmentHot) {
+  const auto dir = fresh_dir("segfile_faults");
+  DataStoreConfig cfg;
+  cfg.segment_flows = 10;
+  cfg.spill_directory = dir;
+  cfg.spill_retry.max_attempts = 3;
+  cfg.spill_retry.initial_backoff = Duration::micros(1);
+  cfg.spill_retry.max_backoff = Duration::micros(4);
+  DataStore store(cfg);
+
+  const auto failures_before =
+      obs::Registry::global().counter("store.spill_failures").value();
+  {
+    resilience::FaultScope scope(resilience::FaultPlan{
+        1, {{"store.spill", resilience::FaultKind::kFail, 1}}});
+    for (int i = 0; i < 30; ++i)
+      store.ingest(flow_at(i, Ipv4Address(10, 2, 0, 1),
+                           Ipv4Address(10, 2, 0, 2), 4000, 443));
+    // Three sealed segments, every spill attempt failed: all stay hot.
+    EXPECT_EQ(scope.injector().fires("store.spill"),
+              3u * cfg.spill_retry.max_attempts);
+    EXPECT_EQ(store.catalog().cold_segments, 0u);
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+    EXPECT_EQ(store.query(FlowQuery{}).size(), 30u);
+  }
+  EXPECT_GE(
+      obs::Registry::global().counter("store.spill_failures").value(),
+      failures_before + 3);
+
+  // Disk back: the stayed-hot segments spill on the next opportunity.
+  EXPECT_EQ(store.spill(), 3u);
+  EXPECT_EQ(store.catalog().cold_segments, 3u);
+  EXPECT_EQ(store.query(FlowQuery{}).size(), 30u);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------ golden fixture
+
+std::filesystem::path golden_path() {
+  return std::filesystem::path(CAMPUSLAB_TEST_DATA_DIR) /
+         "golden_segment_v1.clseg";
+}
+
+// A small, fully deterministic segment: fixed flows, fixed ids.
+std::shared_ptr<Segment> golden_segment() {
+  std::vector<FlowRecord> flows;
+  for (int i = 0; i < 12; ++i) {
+    auto f = flow_at(100 + 10 * i, Ipv4Address(10, 2, 0, 1 + i % 3),
+                     Ipv4Address(192, 0, 2, 1 + i % 2),
+                     static_cast<std::uint16_t>(40'000 + i),
+                     i % 4 == 0 ? 53 : 443, i % 3 == 0 ? 17 : 6,
+                     i % 5 == 0 ? TrafficLabel::kPortScan
+                                : TrafficLabel::kBenign,
+                     1000 + 17 * i);
+    f.saw_dns = i % 4 == 0;
+    f.payload_bytes = 900 + i;
+    f.fwd_packets = 2;
+    f.rev_packets = 1;
+    f.psh_count = static_cast<std::uint32_t>(i);
+    flows.push_back(f);
+  }
+  return make_segment(flows, 1000);
+}
+
+TEST(SegmentFile, GoldenFixturePinsFormat) {
+  const auto bytes = encode_segment(*golden_segment());
+
+  // Layout invariants, independent of the fixture file.
+  ASSERT_GE(bytes.size(), kSegmentFileHeaderBytes);
+  const std::uint8_t magic[8] = {'C', 'L', 'S', 'E', 'G', '0', '1', '\n'};
+  EXPECT_TRUE(std::equal(magic, magic + 8, bytes.begin()));
+  EXPECT_EQ(bytes[8], 0u);  // version u32 big-endian == 1
+  EXPECT_EQ(bytes[9], 0u);
+  EXPECT_EQ(bytes[10], 0u);
+  EXPECT_EQ(bytes[11], kSegmentFileVersion);
+
+  const auto path = golden_path();
+  if (std::getenv("CAMPUSLAB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden fixture regenerated at " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing " << path
+                  << " — regenerate with CAMPUSLAB_UPDATE_GOLDEN=1";
+  std::vector<std::uint8_t> golden{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+  ASSERT_EQ(bytes.size(), golden.size())
+      << "on-disk segment format changed size; if intentional, bump "
+         "kSegmentFileVersion and regenerate with CAMPUSLAB_UPDATE_GOLDEN=1";
+  EXPECT_EQ(bytes, golden)
+      << "on-disk segment format changed; if intentional, bump "
+         "kSegmentFileVersion and regenerate with CAMPUSLAB_UPDATE_GOLDEN=1";
+
+  // And the committed fixture still decodes to the exact segment.
+  auto decoded = decode_segment(golden);
+  ASSERT_TRUE(decoded.ok());
+  expect_segment_equal(*decoded.value(), *golden_segment());
+}
+
+}  // namespace
+}  // namespace campuslab::store
