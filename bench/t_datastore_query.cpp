@@ -15,6 +15,13 @@
 //   3. A concurrent ingest+query table: query latency while a writer
 //      ingests and evicts underneath — the price of snapshot isolation
 //      is pinning, not blocking.
+//   4. A storage-tier table: hot vs cold vs pinned-cache scans, the
+//      per-column compression report, and the zone-map pruning rate
+//      (gate: >= 90% pruned for a narrow window).
+//   5. A distributed sweep: the same 10^6 flows behind 1/2/4-node
+//      clusters (replication 2) at 1 and 4 scan threads per node,
+//      then the StoreShard boundary tax — the identical workload
+//      queried directly vs through LocalShard (gate: <= 1.15x).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -27,9 +34,11 @@
 #include <limits>
 #include <thread>
 
+#include "campuslab/store/cluster.h"
 #include "campuslab/store/datastore.h"
 #include "campuslab/store/query_engine.h"
 #include "campuslab/store/segment_file.h"
+#include "campuslab/store/shard.h"
 #include "campuslab/util/rng.h"
 
 using namespace campuslab;
@@ -392,6 +401,78 @@ double print_storage_tier_table() {
   return prune_rate;
 }
 
+/// Part 5: the distributed store. One million flows routed into
+/// 1/2/4-node clusters (replication 2), scatter-gather scan and
+/// aggregate latency at 1 and 4 scan threads per node store. Then the
+/// StoreShard boundary tax: the same store queried directly vs
+/// through the LocalShard message shapes — the indirection every node
+/// pays even single-node. Returns that ratio for the gate.
+double print_cluster_sweep_table() {
+  constexpr std::size_t kFlows = 1'000'000;
+  std::vector<capture::FlowRecord> flows;
+  flows.reserve(kFlows);
+  {
+    Rng rng(static_cast<std::uint64_t>(kFlows));
+    for (std::size_t i = 0; i < kFlows; ++i)
+      flows.push_back(random_flow(rng, 0));
+  }
+
+  store::FlowQuery scan;
+  scan.min_bytes = 1'000'000'000;  // matches ~nothing: pure scan cost
+  store::FlowQuery host;
+  host.about_host(packet::Ipv4Address(0x0A010007));
+
+  std::printf("\n== cluster sweep: 1M flows, replication 2 ==\n");
+  std::printf("%-8s%-10s%-12s%-14s%-12s\n", "nodes", "threads", "scan ms",
+              "host-q ms", "agg ms");
+  for (const std::size_t nodes : {1u, 2u, 4u}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      store::ClusterConfig cfg;
+      cfg.nodes = nodes;
+      cfg.node_store.segment_flows = 50'000;
+      cfg.node_store.query_threads = threads;
+      store::Cluster cluster(cfg);
+      cluster.ingest(flows);
+      const double scan_ms = time_best_of(
+          3, [&] { benchmark::DoNotOptimize(cluster.query(scan)); });
+      const double host_ms = time_best_of(
+          3, [&] { benchmark::DoNotOptimize(cluster.query(host)); });
+      const double agg_ms = time_best_of(3, [&] {
+        benchmark::DoNotOptimize(
+            cluster.aggregate(scan, store::GroupBy::kHost, 10));
+      });
+      std::printf("%-8zu%-10zu%-12.3f%-14.3f%-12.3f\n", nodes, threads,
+                  scan_ms, host_ms, agg_ms);
+    }
+  }
+  std::printf("scatter-gather overhead = N x (message + merge); the\n"
+              "deterministic id merge keeps results bit-identical.\n");
+
+  // Boundary tax: identical 1M-flow stores, one queried directly, one
+  // through the LocalShard interface (a near-empty scan, so the cost
+  // measured is the boundary, not row copying).
+  auto& direct = store_of_size(static_cast<std::int64_t>(kFlows));
+  store::LocalShard shard;
+  {
+    store::ShardIngestBatch batch;
+    batch.rows.reserve(kFlows);
+    for (const auto& f : flows)
+      batch.rows.push_back(store::StoredFlow{0, f});
+    benchmark::DoNotOptimize(shard.ingest(batch));
+  }
+  const double direct_ms = time_best_of(
+      5, [&] { benchmark::DoNotOptimize(direct.query(scan)); });
+  store::ShardQueryPlan plan;
+  plan.query = scan;
+  const double shard_ms = time_best_of(
+      5, [&] { benchmark::DoNotOptimize(shard.query(plan)); });
+  const double ratio = direct_ms > 0 ? shard_ms / direct_ms : 1.0;
+  std::printf("\nStoreShard boundary: direct %.3f ms, via shard %.3f ms "
+              "(%.2fx)\n",
+              direct_ms, shard_ms, ratio);
+  return ratio;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -401,6 +482,7 @@ int main(int argc, char** argv) {
   const double speedup_at_4 = print_parallel_sweep_table();
   print_concurrent_ingest_query_table();
   const double prune_rate = print_storage_tier_table();
+  const double shard_ratio = print_cluster_sweep_table();
 
   const unsigned cores = std::thread::hardware_concurrency();
   const bool gate = [] {
@@ -417,8 +499,12 @@ int main(int argc, char** argv) {
               "%s\n",
               prune_rate * 100.0,
               prune_rate >= 0.9 ? "OK" : "REGRESSION");
+  std::printf("shard boundary gate: %.2fx vs direct (target <= 1.15x) — "
+              "%s\n",
+              shard_ratio, shard_ratio <= 1.15 ? "OK" : "REGRESSION");
   int rc = 0;
   if (gate && cores >= 4 && speedup_at_4 < 2.0) rc = 1;
   if (gate && prune_rate < 0.9) rc = 1;
+  if (gate && shard_ratio > 1.15) rc = 1;
   return rc;
 }

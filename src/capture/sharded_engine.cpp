@@ -6,6 +6,7 @@
 
 #include "campuslab/obs/stage_timer.h"
 #include "campuslab/resilience/fault.h"
+#include "campuslab/util/hash.h"
 
 namespace campuslab::capture {
 namespace {
@@ -31,17 +32,14 @@ struct ShardedMetrics {
 };
 
 /// FNV-1a over the frame prefix + length: a cheap deterministic spread
-/// for frames that have no 5-tuple to hash.
+/// for frames that have no 5-tuple to hash. Uses the compat basis so
+/// shard placement is unchanged from before the hash dedup (pinned by
+/// ShardedCaptureEngine.SpreaderOutputPinned).
 std::uint64_t prefix_hash(std::span<const std::uint8_t> bytes) noexcept {
-  std::uint64_t h = 1469598103934665603ull;
   const std::size_t n = std::min<std::size_t>(bytes.size(), 32);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ull;
-  }
-  h ^= bytes.size();
-  h *= 1099511628211ull;
-  return h;
+  const std::uint64_t h =
+      util::fnv1a(bytes.first(n), util::kFnvCompatBasis);
+  return util::fnv1a_step(h, bytes.size());
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "campuslab/resilience/fault.h"
 
+#include "campuslab/util/hash.h"
+
 #include <chrono>
 #include <cstdlib>
 #include <thread>
@@ -46,24 +48,16 @@ std::uint64_t FaultPlan::seed_from_env(std::uint64_t fallback) {
   return end != env ? v : fallback;
 }
 
-namespace {
-std::uint64_t fnv1a(std::string_view s) noexcept {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const char c : s) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-}  // namespace
-
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   auto& registry = obs::Registry::global();
   sites_.reserve(plan_.faults.size());
   for (const auto& spec : plan_.faults) {
     auto site = std::make_unique<Site>();
     site->spec = spec;
-    site->decision_salt = plan_.seed ^ fnv1a(spec.site);
+    // Compat basis: site salts predate the hash dedup and seeded fault
+    // plans must replay bit-for-bit across it.
+    site->decision_salt =
+        plan_.seed ^ util::fnv1a(spec.site, util::kFnvCompatBasis);
     site->fire_counter = &registry.counter("resilience.faults_injected_total",
                                            "site=" + spec.site);
     by_site_[spec.site].push_back(sites_.size());

@@ -91,6 +91,10 @@ void DataStore::index_flow(Segment& seg, const StoredFlow& stored,
 }
 
 std::uint64_t DataStore::ingest(const capture::FlowRecord& flow) {
+  return ingest(StoredFlow{0, flow});
+}
+
+std::uint64_t DataStore::ingest(const StoredFlow& row) {
   auto& metrics = StoreMetrics::get();
   obs::StageTimer stage_timer(metrics.ingest_ns);
   metrics.ingested.increment();
@@ -100,7 +104,8 @@ std::uint64_t DataStore::ingest(const capture::FlowRecord& flow) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto& seg = open_segment_locked();
-    StoredFlow stored{next_id_++, flow};
+    StoredFlow stored{row.id != 0 ? row.id : next_id_++, row.flow};
+    if (stored.id >= next_id_) next_id_ = stored.id + 1;
 
     // Data cleaning: a flow whose timestamps are inverted (possible only
     // through producer bugs) is normalized rather than stored broken.
@@ -116,7 +121,7 @@ std::uint64_t DataStore::ingest(const capture::FlowRecord& flow) {
     index_flow(seg, seg.flows.back(), offset);
 
     total_flows_.fetch_add(1, std::memory_order_release);
-    ++label_counts_[static_cast<std::size_t>(flow.majority_label())];
+    ++label_counts_[static_cast<std::size_t>(row.flow.majority_label())];
     if (seg.flows.size() >= config_.segment_flows) {
       seg.sealed = true;
       sealed_now = true;

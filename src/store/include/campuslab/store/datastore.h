@@ -92,6 +92,13 @@ class DataStore {
   /// out-of-order records are accepted and indexed correctly.
   std::uint64_t ingest(const capture::FlowRecord& flow);
 
+  /// Ingest under a caller-assigned stable id (the cluster router's
+  /// global id space — every replica of a flow carries the same id, and
+  /// cluster-merged rows are bit-identical to a single-node store).
+  /// id 0 assigns locally, identical to ingest(flow); the local counter
+  /// advances past explicit ids so mixed callers never collide.
+  std::uint64_t ingest(const StoredFlow& row);
+
   /// Ingest a complementary event (server log, firewall, IDS, ...).
   void ingest_log(LogEvent event);
 

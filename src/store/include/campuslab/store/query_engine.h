@@ -86,4 +86,17 @@ AggregateResult execute_aggregate(StoreSnapshot snapshot,
                                   const FlowQuery& q, GroupBy group_by,
                                   std::size_t top_k, ScanPool* pool);
 
+/// Resumable serial scan — the StoreShard chunk primitive. Returns up
+/// to `max_rows` flows matching `q` with id > after_id, copied out by
+/// value in ingest order (`q.limit` is ignored; the shard boundary caps
+/// with max_rows). Requires ascending ids within each segment — the
+/// store's assignment order, preserved by the cluster router. Segments
+/// whose ids all lie at or below after_id are skipped outright: hot via
+/// their last pinned row, cold via the zone map's id_hi without any
+/// I/O. Sets *exhausted when the scan reached the snapshot's end.
+std::vector<StoredFlow> scan_chunk(StoreSnapshot snapshot, const FlowQuery& q,
+                                   std::uint64_t after_id,
+                                   std::size_t max_rows, QueryStats* stats,
+                                   bool* exhausted);
+
 }  // namespace campuslab::store

@@ -1,0 +1,117 @@
+// StoreShard — the narrow node boundary of the distributed store.
+//
+// Everything above the storage layer talks to this interface instead of
+// a concrete DataStore: the capture merge path ingests batches through
+// it, and the cluster's scatter-gather query engine pulls row chunks
+// through it. The surface is deliberately *message-shaped* — every
+// request and reply is a flat value type (no pointers into shard
+// memory, no shared snapshots across the boundary) — so a future
+// RemoteShard can serialize the same messages over a socket without
+// changing a caller. The intended transport is a single-threaded
+// select/poll loop per node (accept, read length-prefixed request,
+// dispatch to exactly these five handlers, write reply), with UDP-style
+// datagram framing workable for the small control messages; nothing in
+// the message set assumes ordering beyond one request/reply pair.
+//
+// LocalShard is the in-process implementation: it wraps today's
+// DataStore unchanged, delegating execution to the same snapshot-pinned
+// segment-parallel engine single-node callers use. Rows cross the
+// boundary by value (a transport could never share a pin); for queries
+// that match little — the common indexed case — the copy is noise, and
+// the T-STORE bench gates the whole indirection at <= 15% of the direct
+// DataStore path.
+//
+// Resumable chunking: a query plan carries (after_id, max_rows) so a
+// caller can stream a large result in bounded-memory pulls. Ids are
+// ascending in ingest order per shard (the cluster router assigns them
+// globally), so `after_id` is a perfect resume token and whole segments
+// whose id range lies at or below it are skipped — for spilled
+// segments via the zone map's id_hi, without any I/O.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "campuslab/store/datastore.h"
+#include "campuslab/util/result.h"
+
+namespace campuslab::store {
+
+/// Ingest request: rows with router-assigned global ids (id 0 = assign
+/// locally, for standalone single-shard use).
+struct ShardIngestBatch {
+  std::vector<StoredFlow> rows;
+};
+
+/// Ingest reply. `applied` counts the batch prefix durably ingested;
+/// applied < rows.size() means a row-level failure stopped the batch
+/// and the caller owns the tail.
+struct ShardIngestAck {
+  std::uint64_t applied = 0;
+};
+
+/// Query request: a planned query plus the resumable-chunk window.
+/// `query.limit` and `max_rows` both cap this pull (the smaller wins);
+/// a streaming caller passes limit-free queries and pages with
+/// (after_id, max_rows).
+struct ShardQueryPlan {
+  FlowQuery query;
+  std::uint64_t after_id = 0;  // only rows with id > after_id
+  std::size_t max_rows = std::numeric_limits<std::size_t>::max();
+};
+
+/// Query reply: matching rows in ingest (ascending-id) order, copied by
+/// value. `exhausted` is true when the scan reached the end of the
+/// shard — false means "pull again from rows.back().id".
+struct ShardQueryRows {
+  std::vector<StoredFlow> rows;
+  bool exhausted = true;
+  QueryStats stats;
+};
+
+/// The node-boundary interface. Errors model transport/node failure
+/// ("node_dead", "fault_injected"); in-band partial failure travels in
+/// the reply types.
+class StoreShard {
+ public:
+  virtual ~StoreShard() = default;
+
+  virtual Result<ShardIngestAck> ingest(const ShardIngestBatch& batch) = 0;
+  virtual Status ingest_log(const LogEvent& event) = 0;
+  virtual Result<ShardQueryRows> query(const ShardQueryPlan& plan) const = 0;
+  virtual Result<AggregateResult> aggregate(const FlowQuery& q,
+                                            GroupBy group_by,
+                                            std::size_t top_k) const = 0;
+  virtual Result<LogResult> query_logs(const LogQuery& q) const = 0;
+  virtual CatalogInfo catalog() const = 0;
+  virtual std::uint64_t flow_count() const = 0;
+};
+
+/// In-process StoreShard over an owned DataStore. The wrapped store is
+/// reachable for zero-copy in-process callers (benches, tests); going
+/// through the interface costs one virtual dispatch plus the row-copy
+/// of whatever matched.
+class LocalShard final : public StoreShard {
+ public:
+  explicit LocalShard(DataStoreConfig config = {});
+  ~LocalShard() override;
+
+  DataStore& store() noexcept { return *store_; }
+  const DataStore& store() const noexcept { return *store_; }
+
+  Result<ShardIngestAck> ingest(const ShardIngestBatch& batch) override;
+  Status ingest_log(const LogEvent& event) override;
+  Result<ShardQueryRows> query(const ShardQueryPlan& plan) const override;
+  Result<AggregateResult> aggregate(const FlowQuery& q, GroupBy group_by,
+                                    std::size_t top_k) const override;
+  Result<LogResult> query_logs(const LogQuery& q) const override;
+  CatalogInfo catalog() const override;
+  std::uint64_t flow_count() const override { return store_->size(); }
+
+ private:
+  std::unique_ptr<DataStore> store_;
+};
+
+}  // namespace campuslab::store

@@ -27,6 +27,10 @@
 
 namespace campuslab::store {
 
+class StoreShard;
+class Cluster;
+struct ClusterIngestReport;
+
 class ShardedFlowIngester {
  public:
   explicit ShardedFlowIngester(std::size_t shards);
@@ -59,6 +63,20 @@ class ShardedFlowIngester {
   Result<std::uint64_t> merge_into(DataStore& store,
                                    const resilience::RetryPolicy& policy,
                                    const resilience::Sleeper& sleeper = {});
+
+  /// Ordered merge across the StoreShard node boundary (shard.h): one
+  /// canonical-order batch, acked by applied-prefix. A partial or
+  /// failed ack re-buffers the unapplied tail — nothing is lost — and
+  /// returns the error; success returns flows applied.
+  Result<std::uint64_t> merge_into(StoreShard& shard);
+
+  /// Ordered merge into a cluster: the canonical sort happens here, so
+  /// the router's global ids — and therefore every query, aggregate
+  /// and cursor — come out bit-identical to a single-node store fed
+  /// the same capture. Flows the cluster could not place anywhere
+  /// count in the report's `lost` (they left the buffers; the cluster
+  /// already metered them).
+  ClusterIngestReport merge_into(Cluster& cluster);
 
  private:
   struct Buffer {

@@ -363,6 +363,76 @@ AggregateResult execute_aggregate(StoreSnapshot snapshot,
   return result;
 }
 
+// ---------------------------------------------------------- scan_chunk
+
+std::vector<StoredFlow> scan_chunk(StoreSnapshot snapshot, const FlowQuery& q,
+                                   std::uint64_t after_id,
+                                   std::size_t max_rows, QueryStats* stats,
+                                   bool* exhausted) {
+  FlowQuery filter = q;
+  filter.limit = std::numeric_limits<std::size_t>::max();
+  const IndexKind plan = planned_index(filter);
+  auto& segs = snapshot.segments_mut();
+  QueryStats st;
+  st.index = plan;
+  st.segments_pinned = segs.size();
+  st.threads = 1;
+  std::vector<StoredFlow> rows;
+  bool done = true;
+  ColdStats cold;
+  if (max_rows == 0) {
+    done = false;  // a zero-row pull proves nothing about the tail
+  } else {
+    for (std::size_t si = 0; si < segs.size(); ++si) {
+      PinnedSegment& pin = segs[si];
+      if (pin.count == 0) continue;
+      if (after_id != 0) {
+        // Segments are consumed in ascending-id order, so a segment
+        // whose last id is at or below the resume token was fully
+        // drained by earlier pulls — skip it, cold ones without I/O.
+        if (pin.segment != nullptr) {
+          if (pin.segment->flows.data()[pin.count - 1].id <= after_id)
+            continue;
+        } else if (pin.cold != nullptr &&
+                   pin.cold->zone().id_hi <= after_id) {
+          continue;
+        }
+      }
+      const std::vector<std::uint32_t>* candidates = nullptr;
+      if (!open_segment_scan(pin, filter, plan, candidates, cold)) continue;
+      ++st.segments_scanned;
+      const StoredFlow* flows = pin.segment->flows.data();
+      // Returns false once the chunk is full.
+      auto consume = [&](const StoredFlow& stored) {
+        ++st.rows_scanned;
+        if (stored.id <= after_id || !filter.matches(stored)) return true;
+        rows.push_back(stored);
+        return rows.size() < max_rows;
+      };
+      bool room = true;
+      if (candidates != nullptr) {
+        st.index_hits += candidates->size();
+        for (const auto offset : *candidates) {
+          if (!(room = consume(flows[offset]))) break;
+        }
+      } else {
+        for (std::uint32_t i = 0; i < pin.count && room; ++i)
+          room = consume(flows[i]);
+      }
+      if (!room) {
+        done = false;  // cut mid-scan: this or a later segment may hold more
+        break;
+      }
+    }
+  }
+  st.cold_loaded = cold.loaded;
+  st.cold_pruned = cold.pruned;
+  st.cold_load_failures = cold.load_failures;
+  if (stats != nullptr) *stats = st;
+  if (exhausted != nullptr) *exhausted = done;
+  return rows;
+}
+
 // -------------------------------------------------------- QueryCursor
 
 QueryCursor::QueryCursor(StoreSnapshot snapshot, FlowQuery query)

@@ -9,6 +9,7 @@
 #include "campuslab/obs/registry.h"
 #include "campuslab/obs/stage_timer.h"
 #include "campuslab/util/bytes.h"
+#include "campuslab/util/hash.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CAMPUSLAB_HAVE_MMAP 1
@@ -26,14 +27,9 @@ namespace {
 // newline catches text-mode mangling the way pcap's magic does.
 constexpr std::uint64_t kMagic = 0x434C53454730310AULL;
 
-std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const auto b : data) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+// Standard-basis FNV-1a from util/hash.h; the golden segment fixture
+// pins that checksums are unchanged across the dedup.
+using util::fnv1a;
 
 void put_varint(ByteWriter& w, std::uint64_t v) {
   while (v >= 0x80) {

@@ -4,6 +4,8 @@
 
 #include "campuslab/capture/flow.h"
 #include "campuslab/resilience/fault.h"
+#include "campuslab/store/cluster.h"
+#include "campuslab/store/shard.h"
 
 namespace campuslab::store {
 
@@ -96,6 +98,67 @@ Result<std::uint64_t> ShardedFlowIngester::merge_into(
     return terminal.error();
   }
   return static_cast<std::uint64_t>(ingested);
+}
+
+Result<std::uint64_t> ShardedFlowIngester::merge_into(StoreShard& shard) {
+  std::vector<capture::FlowRecord> merged;
+  for (auto& buffer : buffers_) {
+    std::vector<capture::FlowRecord> taken;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      taken.swap(buffer->flows);
+    }
+    merged.insert(merged.end(), std::make_move_iterator(taken.begin()),
+                  std::make_move_iterator(taken.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   capture::flow_export_before);
+  ShardIngestBatch batch;
+  batch.rows.reserve(merged.size());
+  for (const auto& flow : merged)
+    batch.rows.push_back(StoredFlow{0, flow});  // id 0: shard assigns
+  const auto ack = shard.ingest(batch);
+  const std::uint64_t applied =
+      ack.ok() ? std::min<std::uint64_t>(ack.value().applied, merged.size())
+               : 0;
+  pending_.fetch_sub(applied, std::memory_order_release);
+  merged_total_ += applied;
+  obs::Registry::global().counter("store.merged_flows").add(applied);
+  if (applied < merged.size()) {
+    // Re-buffer the unapplied tail, same contract as the resilient
+    // DataStore merge: nothing lost, canonical re-sort next time.
+    std::lock_guard<std::mutex> lock(buffers_[0]->mu);
+    buffers_[0]->flows.insert(
+        buffers_[0]->flows.end(),
+        std::make_move_iterator(merged.begin() +
+                                static_cast<std::ptrdiff_t>(applied)),
+        std::make_move_iterator(merged.end()));
+    if (!ack.ok()) return ack.error();
+    return Error::make("ingest_partial",
+                       "shard applied " + std::to_string(applied) + " of " +
+                           std::to_string(merged.size()) + " rows");
+  }
+  return applied;
+}
+
+ClusterIngestReport ShardedFlowIngester::merge_into(Cluster& cluster) {
+  std::vector<capture::FlowRecord> merged;
+  for (auto& buffer : buffers_) {
+    std::vector<capture::FlowRecord> taken;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      taken.swap(buffer->flows);
+    }
+    merged.insert(merged.end(), std::make_move_iterator(taken.begin()),
+                  std::make_move_iterator(taken.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   capture::flow_export_before);
+  const ClusterIngestReport report = cluster.ingest(merged);
+  pending_.fetch_sub(merged.size(), std::memory_order_release);
+  merged_total_ += report.acked;
+  obs::Registry::global().counter("store.merged_flows").add(report.acked);
+  return report;
 }
 
 }  // namespace campuslab::store

@@ -154,6 +154,39 @@ TEST(ShardedCaptureEngine, NonIpFramesSpreadAcrossShards) {
   for (const auto h : hits) EXPECT_LT(h, 2000u / 2);
 }
 
+TEST(ShardedCaptureEngine, SpreaderOutputPinned) {
+  // Pin the spreader's exact outputs. The FNV fold moved to
+  // util/hash.h (kFnvCompatBasis + whole-word fnv1a_step); these
+  // values are the pre-dedup historical spreads, and a change here
+  // means every deployed shard->worker assignment silently moved.
+  ShardedCaptureConfig cfg;
+  cfg.shards = 8;
+  ShardedCaptureEngine engine(cfg);
+
+  const auto tuple_pkt = [&](std::uint32_t src, std::uint32_t dst,
+                             std::uint16_t sport, std::uint16_t dport) {
+    return PacketBuilder(Timestamp::from_nanos(1))
+        .udp(ep(1, Ipv4Address(src), sport), ep(2, Ipv4Address(dst), dport))
+        .payload_size(32)
+        .build();
+  };
+  EXPECT_EQ(engine.shard_of(tuple_pkt(0x0A000001, 0x08080808, 4242, 53)),
+            0u);
+  EXPECT_EQ(engine.shard_of(tuple_pkt(0x0A000002, 0x08080808, 4242, 53)),
+            1u);
+  EXPECT_EQ(engine.shard_of(tuple_pkt(0x0A000001, 0x08080404, 9999, 443)),
+            5u);
+  EXPECT_EQ(engine.shard_of(tuple_pkt(0xC0A80101, 0x0A000001, 1, 2)), 5u);
+
+  // Tuple-less frames take the byte-hash path under the same basis.
+  packet::Packet junk;
+  junk.ts = Timestamp::from_nanos(2);
+  junk.resize(32);
+  for (std::size_t i = 0; i < 32; ++i)
+    junk.mutable_bytes()[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  EXPECT_EQ(engine.shard_of(junk), 1u);
+}
+
 TEST(ShardedCaptureEngine, DropsAttributedToTheFullShard) {
   ShardedCaptureConfig cfg;
   cfg.shards = 4;

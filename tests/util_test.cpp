@@ -6,8 +6,12 @@
 #include <array>
 #include <cmath>
 #include <set>
+#include <span>
+#include <string_view>
+#include <vector>
 
 #include "campuslab/util/bytes.h"
+#include "campuslab/util/hash.h"
 #include "campuslab/util/result.h"
 #include "campuslab/util/rng.h"
 #include "campuslab/util/stats.h"
@@ -340,6 +344,50 @@ TEST(EntropyCounter, DistinctAndTotal) {
   e.add(2, 3);
   EXPECT_EQ(e.distinct(), 2u);
   EXPECT_EQ(e.total(), 5u);
+}
+
+// ----------------------------------------------------------------- hash
+
+// Reference vectors from the FNV-1a specification (64-bit). The
+// segment-file checksums and every other byte-exact user depend on
+// these constants; a drift here corrupts on-disk compatibility.
+TEST(Fnv1a, ReferenceVectors) {
+  EXPECT_EQ(util::fnv1a(std::string_view{}), util::kFnvOffsetBasis);
+  EXPECT_EQ(util::fnv1a(std::string_view{"a"}), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(util::fnv1a(std::string_view{"foobar"}), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, SpanAndStringAgree) {
+  const std::string_view s = "campuslab";
+  std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(util::fnv1a(std::span<const std::uint8_t>(bytes)),
+            util::fnv1a(s));
+}
+
+TEST(Fnv1a, StepFoldsWholeWordsNotBytes) {
+  // fnv1a_step is the spreader's historical whole-word fold — one
+  // (h ^ v) * prime per 64-bit value — NOT byte-at-a-time FNV over the
+  // word. Pin both the semantics and the compat basis the spreader
+  // ships with.
+  const std::uint64_t v = 0x0102030405060708ULL;
+  EXPECT_EQ(util::fnv1a_step(util::kFnvCompatBasis, v),
+            (util::kFnvCompatBasis ^ v) * util::kFnvPrime);
+  EXPECT_EQ(util::kFnvCompatBasis, 1469598103934665603ULL);
+  // The compat basis is the standard basis with its last decimal
+  // digit dropped (the historical typo, kept bit-stable).
+  EXPECT_EQ(util::kFnvCompatBasis, util::kFnvOffsetBasis / 10);
+}
+
+TEST(Mix64, AvalanchesHighBits) {
+  // The finalizer exists because short-input FNV barely moves the top
+  // bits: consecutive inputs must land in different 2^56-wide buckets
+  // once mixed (this is what keeps hash-ring vnode points spread).
+  std::set<std::uint64_t> top_bytes;
+  for (std::uint64_t v = 0; v < 64; ++v)
+    top_bytes.insert(util::mix64(v) >> 56);
+  EXPECT_GT(top_bytes.size(), 32u);
+  EXPECT_EQ(util::mix64(12345), util::mix64(12345));
+  EXPECT_NE(util::mix64(12345), util::mix64(12346));
 }
 
 }  // namespace
