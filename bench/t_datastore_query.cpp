@@ -33,12 +33,15 @@
 #include <functional>
 #include <limits>
 #include <thread>
+#include <utility>
 
 #include "campuslab/store/cluster.h"
 #include "campuslab/store/datastore.h"
 #include "campuslab/store/query_engine.h"
+#include "campuslab/store/remote_shard.h"
 #include "campuslab/store/segment_file.h"
 #include "campuslab/store/shard.h"
+#include "campuslab/store/shard_server.h"
 #include "campuslab/util/rng.h"
 
 using namespace campuslab;
@@ -406,8 +409,10 @@ double print_storage_tier_table() {
 /// aggregate latency at 1 and 4 scan threads per node store. Then the
 /// StoreShard boundary tax: the same store queried directly vs
 /// through the LocalShard message shapes — the indirection every node
-/// pays even single-node. Returns that ratio for the gate.
-double print_cluster_sweep_table() {
+/// pays even single-node — vs over a loopback socket through a
+/// RemoteShard. Returns {in-process ratio, loopback ratio} for the
+/// gates.
+std::pair<double, double> print_cluster_sweep_table() {
   constexpr std::size_t kFlows = 1'000'000;
   std::vector<capture::FlowRecord> flows;
   flows.reserve(kFlows);
@@ -467,10 +472,29 @@ double print_cluster_sweep_table() {
   const double shard_ms = time_best_of(
       5, [&] { benchmark::DoNotOptimize(shard.query(plan)); });
   const double ratio = direct_ms > 0 ? shard_ms / direct_ms : 1.0;
+
+  // Loopback column: the same shard behind a ShardServer, queried by a
+  // RemoteShard over 127.0.0.1 — the boundary tax plus one CLRP01
+  // frame round trip per pull. The near-empty scan keeps row encoding
+  // out of the number, so this is the floor a socket cluster pays.
+  store::ShardServer server;
+  server.add_shard(0, shard);
+  double loopback_ms = 0.0;
+  if (server.start().ok()) {
+    store::RemoteShardConfig remote_cfg;
+    remote_cfg.port = server.port();
+    store::RemoteShard remote(remote_cfg);
+    (void)remote.ping();  // connect outside the timed region
+    loopback_ms = time_best_of(
+        5, [&] { benchmark::DoNotOptimize(remote.query(plan)); });
+    server.stop();
+  }
+  const double loopback_ratio =
+      direct_ms > 0 ? loopback_ms / direct_ms : 1.0;
   std::printf("\nStoreShard boundary: direct %.3f ms, via shard %.3f ms "
-              "(%.2fx)\n",
-              direct_ms, shard_ms, ratio);
-  return ratio;
+              "(%.2fx), loopback %.3f ms (%.2fx)\n",
+              direct_ms, shard_ms, ratio, loopback_ms, loopback_ratio);
+  return {ratio, loopback_ratio};
 }
 
 }  // namespace
@@ -482,7 +506,7 @@ int main(int argc, char** argv) {
   const double speedup_at_4 = print_parallel_sweep_table();
   print_concurrent_ingest_query_table();
   const double prune_rate = print_storage_tier_table();
-  const double shard_ratio = print_cluster_sweep_table();
+  const auto [shard_ratio, loopback_ratio] = print_cluster_sweep_table();
 
   const unsigned cores = std::thread::hardware_concurrency();
   const bool gate = [] {
@@ -502,9 +526,13 @@ int main(int argc, char** argv) {
   std::printf("shard boundary gate: %.2fx vs direct (target <= 1.15x) — "
               "%s\n",
               shard_ratio, shard_ratio <= 1.15 ? "OK" : "REGRESSION");
+  std::printf("loopback boundary gate: %.2fx vs direct (target <= 2.00x) "
+              "— %s\n",
+              loopback_ratio, loopback_ratio <= 2.0 ? "OK" : "REGRESSION");
   int rc = 0;
   if (gate && cores >= 4 && speedup_at_4 < 2.0) rc = 1;
   if (gate && prune_rate < 0.9) rc = 1;
   if (gate && shard_ratio > 1.15) rc = 1;
+  if (gate && loopback_ratio > 2.0) rc = 1;
   return rc;
 }

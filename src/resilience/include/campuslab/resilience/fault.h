@@ -10,7 +10,9 @@
 //
 // Injection points are named call sites threaded through the pipeline
 // (capture.sink_dispatch, capture.worker, flow.update, dataset.append,
-// store.ingest, archive.write, sim.emit). Each is a single relaxed
+// store.ingest, archive.write, sim.emit, store.shard_rpc — every
+// cluster-to-shard message — and the socket-level rpc.connect /
+// rpc.send / rpc.recv inside RemoteShard). Each is a single relaxed
 // atomic load when no injector is installed — cheap enough to live on
 // the per-packet path permanently, which is the point: the shipped
 // binary and the chaos binary are the same binary.

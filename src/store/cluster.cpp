@@ -136,13 +136,23 @@ Cluster::Cluster(ClusterConfig config)
   obs_acked_ = &registry.counter("cluster.flows_acked");
   obs_lost_ = &registry.counter("cluster.flows_lost");
   obs_degraded_queries_ = &registry.counter("cluster.degraded_queries");
+  // Default topology is in-process; a ShardFactory swaps every
+  // constructor call for (typically) a RemoteShard — nothing else in
+  // the cluster knows the difference.
+  const auto make_shard = [this](NodeId via, NodeId owner,
+                                 DataStoreConfig cfg)
+      -> std::unique_ptr<StoreShard> {
+    if (config_.shard_factory)
+      return config_.shard_factory(via, owner, std::move(cfg));
+    return std::make_unique<LocalShard>(std::move(cfg));
+  };
   nodes_.reserve(n);
   for (NodeId i = 0; i < n; ++i) {
     auto node = std::make_unique<Node>();
     DataStoreConfig primary_cfg = config_.node_store;
     if (!primary_cfg.spill_directory.empty())
       primary_cfg.spill_directory += "/node" + std::to_string(i);
-    node->primary = std::make_unique<LocalShard>(std::move(primary_cfg));
+    node->primary = make_shard(i, i, std::move(primary_cfg));
     node->replicas.resize(n);
     for (NodeId owner = 0; owner < n; ++owner) {
       if (owner == i || replication_ < 2) continue;
@@ -150,7 +160,7 @@ Cluster::Cluster(ClusterConfig config)
       if (!rep_cfg.spill_directory.empty())
         rep_cfg.spill_directory += "/node" + std::to_string(i) + "/owner" +
                                    std::to_string(owner);
-      node->replicas[owner] = std::make_unique<LocalShard>(std::move(rep_cfg));
+      node->replicas[owner] = make_shard(i, owner, std::move(rep_cfg));
     }
     node->rpc_failures =
         &registry.counter("cluster.rpc_failures", node_label(i));
@@ -183,12 +193,34 @@ auto Cluster::send(NodeId via, Fn&& fn) const -> decltype(fn()) {
     if (!node.alive.load(std::memory_order_acquire))
       return Error::make("node_dead",
                          "node " + std::to_string(via) + " is down");
+    std::string transient;
     const Status fault =
         resilience::fault_point_status("store.shard_rpc");
-    if (fault.ok()) return fn();
+    if (fault.ok()) {
+      auto result = fn();
+      if (result.ok()) return result;
+      const std::string& code = result.error().code;
+      // A refused connection IS a killed node: flip the scopes now
+      // instead of burning the retry deadline on every message.
+      if (code == "connect_refused") {
+        mark_dead(via, "connect_refused");
+        node.rpc_failures->increment();
+        return Error::make("node_dead",
+                           "node " + std::to_string(via) +
+                               " refused connection");
+      }
+      // Broken/stalled stream: transient, worth the backoff (the
+      // shard's ascending-id replay dedup makes an ingest resend
+      // safe). Everything else — shard errors, wire violations,
+      // injected store faults — passes through untouched.
+      if (code != "rpc_io" && code != "rpc_timeout") return result;
+      transient = result.error().message;
+    } else {
+      transient = fault.error().message;
+    }
     if (attempt >= policy.max_attempts) {
       node.rpc_failures->increment();
-      return Error::make("rpc_failed", fault.error().message);
+      return Error::make("rpc_failed", transient);
     }
     const Duration backoff =
         resilience::backoff_for(policy, attempt, jitter);
@@ -622,13 +654,17 @@ std::uint64_t Cluster::size() const {
 
 // ---------------------------------------------------------- resilience
 
-void Cluster::kill_node(NodeId node) {
+void Cluster::mark_dead(NodeId node, const char* reason) const {
   if (node >= nodes_.size()) return;
-  nodes_[node]->alive.store(false, std::memory_order_release);
+  if (!nodes_[node]->alive.exchange(false, std::memory_order_acq_rel))
+    return;  // already dead; count each death once
   obs::Registry::global()
-      .counter("cluster.node_deaths", node_label(node))
+      .counter("cluster.node_deaths",
+               node_label(node) + ",reason=" + reason)
       .increment();
 }
+
+void Cluster::kill_node(NodeId node) { mark_dead(node, "killed"); }
 
 bool Cluster::alive(NodeId node) const noexcept {
   return node < nodes_.size() &&
@@ -660,7 +696,13 @@ resilience::HealthState Cluster::feed_health(
 }
 
 const DataStore& Cluster::primary_store(NodeId node) const {
-  return nodes_[node]->primary->store();
+  // In-process escape hatch by contract: callers (tests, benches) own
+  // the topology and only ask this of LocalShard-backed clusters.
+  auto* local = dynamic_cast<const LocalShard*>(nodes_[node]->primary.get());
+  if (local == nullptr)
+    throw std::logic_error("primary_store(): node " + std::to_string(node) +
+                           " is not an in-process LocalShard");
+  return local->store();
 }
 
 // -------------------------------------------------------- ClusterCursor

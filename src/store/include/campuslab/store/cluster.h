@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -81,6 +82,15 @@ class HashRing {
   std::size_t nodes_;
 };
 
+/// Builds one shard of one node: `via` is the hosting node, `owner` is
+/// whose flows the shard holds (owner == via for the primary store,
+/// anything else for a replica store). `config` already carries the
+/// per-shard spill-directory suffix. An empty factory means in-process
+/// LocalShards; a socket cluster returns RemoteShards pointed at its
+/// server processes.
+using ShardFactory = std::function<std::unique_ptr<StoreShard>(
+    NodeId via, NodeId owner, DataStoreConfig config)>;
+
 struct ClusterConfig {
   std::size_t nodes = 4;
   /// Copies per flow (clamped to `nodes`). 2 = survive one node loss.
@@ -98,6 +108,8 @@ struct ClusterConfig {
   std::uint64_t rpc_seed = 0x5A7D5;
   /// Rows per pull when a cursor streams from a shard.
   std::size_t cursor_chunk = 4096;
+  /// How the cluster builds its shards (empty = LocalShard in-process).
+  ShardFactory shard_factory;
 };
 
 /// Outcome of one routed ingest batch. A flow is *acked* once at least
@@ -250,11 +262,11 @@ class Cluster {
   friend class ClusterCursor;
 
   struct Node {
-    std::unique_ptr<LocalShard> primary;
+    std::unique_ptr<StoreShard> primary;
     /// replicas[owner] holds rows whose primary is `owner`; entry
     /// [self] stays null. Pre-built at construction so the query path
     /// never mutates the topology.
-    std::vector<std::unique_ptr<LocalShard>> replicas;
+    std::vector<std::unique_ptr<StoreShard>> replicas;
     std::atomic<bool> alive{true};
     obs::Counter* rpc_failures = nullptr;
     std::atomic<std::uint64_t> replica_lag{0};
@@ -270,9 +282,17 @@ class Cluster {
 
   /// Send one message to a shard via `node`: liveness check, fault
   /// site, bounded retry on transient failures; a dead node fails
-  /// fast. `fn` is the shard call; its Result/Status passes through.
+  /// fast. `fn` is the shard call. Transport errors are classified:
+  /// "connect_refused" marks the node dead on the spot (a refused
+  /// remote IS a killed node — no retry-deadline burn, feed_health and
+  /// the replica scopes flip immediately), "rpc_io"/"rpc_timeout"
+  /// retry under the backoff policy, every other Result/Status passes
+  /// through.
   template <typename Fn>
   auto send(NodeId via, Fn&& fn) const -> decltype(fn());
+
+  /// Flip a node dead (kill_node and the connect-refused fast path).
+  void mark_dead(NodeId node, const char* reason) const;
 
   /// The replica stores that together hold owner's flows, on live
   /// nodes.

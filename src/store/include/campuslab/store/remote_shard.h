@@ -1,0 +1,103 @@
+// store::RemoteShard — the socket-backed StoreShard.
+//
+// The constructor swap shard.h promised: a RemoteShard speaks the
+// CLRP01 wire protocol (wire.h) to a ShardServer and implements the
+// same message-shaped interface a LocalShard does, so the Cluster — and
+// the PR 7 bit-identity battery — run unchanged over a real network
+// boundary.
+//
+// Failure model (codes the Cluster's send() classifies):
+//   - "connect_refused": the peer actively refused (dead process).
+//     Surfaces immediately — no backoff — so the cluster can flip the
+//     node's scopes to replicas as fast as a kill_node() switch.
+//   - "rpc_timeout": connect or reply missed its deadline. The socket
+//     closes (the stream has no framing after a half-read reply); the
+//     next call reconnects.
+//   - "rpc_io": the connection broke (RST after a SIGKILL, EOF from an
+//     idle-timeout close). If the request was never fully delivered on
+//     a *reused* connection, the call transparently reconnects and
+//     resends once — the idle-close race every long-lived client hits —
+//     otherwise the error surfaces and the caller's retry policy
+//     decides (shard-side idempotent ascending-id replay makes an
+//     ingest resend safe).
+//   - wire_* / server error codes pass through verbatim.
+//
+// Socket-level fault hooks: "rpc.connect", "rpc.send", "rpc.recv" are
+// resilience fault sites, so chaos plans can inject refused
+// connections and broken streams without a real network in the loop.
+//
+// Thread safety: calls serialize on an internal mutex (one socket, one
+// in-flight request). Const query methods are genuinely concurrent at
+// the interface level — they just take turns on the wire.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campuslab/store/shard.h"
+#include "campuslab/store/wire.h"
+#include "campuslab/util/time.h"
+
+namespace campuslab::store {
+
+struct RemoteShardConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Which shard on the server (0 = primary, 1+owner = replica).
+  std::uint32_t shard = 0;
+  Duration connect_timeout = Duration::millis(500);
+  /// Per-request reply deadline.
+  Duration io_timeout = Duration::seconds(5);
+  std::size_t max_body = wire::kDefaultMaxBody;
+};
+
+class RemoteShard final : public StoreShard {
+ public:
+  explicit RemoteShard(RemoteShardConfig config);
+  ~RemoteShard() override;
+
+  RemoteShard(const RemoteShard&) = delete;
+  RemoteShard& operator=(const RemoteShard&) = delete;
+
+  Result<ShardIngestAck> ingest(const ShardIngestBatch& batch) override;
+  Status ingest_log(const LogEvent& event) override;
+  Result<ShardQueryRows> query(const ShardQueryPlan& plan) const override;
+  Result<AggregateResult> aggregate(const FlowQuery& q, GroupBy group_by,
+                                    std::size_t top_k) const override;
+  Result<LogResult> query_logs(const LogQuery& q) const override;
+  Result<CatalogInfo> catalog() const override;
+  Result<std::uint64_t> flow_count() const override;
+
+  /// Round-trip liveness probe (and connection warmup).
+  Status ping() const;
+
+  bool connected() const;
+  /// Reconnections performed after the first successful connect.
+  std::uint64_t reconnects() const noexcept;
+
+ private:
+  /// One request/reply exchange, including connect-on-demand and the
+  /// reused-connection resend. Returns the reply body after type,
+  /// request-id, and error-frame handling.
+  Result<std::vector<std::uint8_t>> call(wire::MsgType type,
+                                         const std::vector<std::uint8_t>& body,
+                                         wire::MsgType expect) const;
+
+  Status connect_locked() const;
+  void close_locked() const;
+  Status send_all_locked(std::span<const std::uint8_t> data,
+                         Duration budget) const;
+  Result<wire::Frame> read_frame_locked(Duration budget) const;
+
+  RemoteShardConfig config_;
+  mutable std::mutex mutex_;
+  mutable int fd_ = -1;
+  mutable bool reused_ = false;  // >= 1 exchange served on this socket
+  mutable std::uint64_t next_request_ = 1;
+  mutable std::uint64_t reconnects_ = 0;
+  mutable bool ever_connected_ = false;
+};
+
+}  // namespace campuslab::store

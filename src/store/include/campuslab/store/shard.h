@@ -72,8 +72,10 @@ struct ShardQueryRows {
 };
 
 /// The node-boundary interface. Errors model transport/node failure
-/// ("node_dead", "fault_injected"); in-band partial failure travels in
-/// the reply types.
+/// ("node_dead", "connect_refused", "rpc_io", "rpc_timeout",
+/// "fault_injected"); in-band partial failure travels in the reply
+/// types. Every method — including catalog and flow count — can fail,
+/// because every method may cross a socket.
 class StoreShard {
  public:
   virtual ~StoreShard() = default;
@@ -85,14 +87,21 @@ class StoreShard {
                                             GroupBy group_by,
                                             std::size_t top_k) const = 0;
   virtual Result<LogResult> query_logs(const LogQuery& q) const = 0;
-  virtual CatalogInfo catalog() const = 0;
-  virtual std::uint64_t flow_count() const = 0;
+  virtual Result<CatalogInfo> catalog() const = 0;
+  virtual Result<std::uint64_t> flow_count() const = 0;
 };
 
 /// In-process StoreShard over an owned DataStore. The wrapped store is
 /// reachable for zero-copy in-process callers (benches, tests); going
 /// through the interface costs one virtual dispatch plus the row-copy
 /// of whatever matched.
+///
+/// Idempotent replay: per-store id streams ascend (the cluster router
+/// guarantees it), so a batch row whose explicit id is at or below the
+/// highest id this shard already applied is a retransmission — a
+/// client resend after a lost ack, or a cluster-level rpc_io retry. It
+/// is acked without re-storing, which keeps at-least-once transports
+/// exactly-once at the storage layer.
 class LocalShard final : public StoreShard {
  public:
   explicit LocalShard(DataStoreConfig config = {});
@@ -107,11 +116,14 @@ class LocalShard final : public StoreShard {
   Result<AggregateResult> aggregate(const FlowQuery& q, GroupBy group_by,
                                     std::size_t top_k) const override;
   Result<LogResult> query_logs(const LogQuery& q) const override;
-  CatalogInfo catalog() const override;
-  std::uint64_t flow_count() const override { return store_->size(); }
+  Result<CatalogInfo> catalog() const override;
+  Result<std::uint64_t> flow_count() const override {
+    return std::uint64_t{store_->size()};
+  }
 
  private:
   std::unique_ptr<DataStore> store_;
+  std::uint64_t last_applied_id_ = 0;  // writer thread only
 };
 
 }  // namespace campuslab::store

@@ -1,0 +1,109 @@
+// store::ShardServer — a StoreShard node behind a real socket.
+//
+// One server process (or thread) hosts a set of StoreShards — by
+// convention shard id 0 is the node's primary store and id 1+owner is
+// its replica store for `owner` — and speaks the CLRP01 wire protocol
+// (wire.h) to any number of concurrent clients. The transport is the
+// one shard.h promised: a single-threaded non-blocking poll() loop that
+// accepts, reads length-prefixed request frames, dispatches to exactly
+// the StoreShard handlers, and writes reply frames. Serial dispatch is
+// a feature, not a shortcut — it gives every hosted shard the same
+// one-writer contract a LocalShard enjoys in-process, with no locks in
+// the storage layer.
+//
+// Defensive posture: the server treats every byte off the wire as
+// attacker-controlled. Frames are bounded (`max_body`), checksummed,
+// and totally decoded before any shard code runs; a framing violation
+// (bad magic, oversized length, checksum damage) earns the client one
+// error reply — when the stream is still writable — and the connection
+// closes, because after a length error there is no recoverable framing.
+// Idle connections (a slow client holding half a frame) are reaped on
+// `idle_timeout`. Malformed-but-framed bodies get an error reply and
+// the connection survives.
+//
+// Metrics: rpc.server_connections / _frames / _rejects counters,
+// rpc.server_bytes_{in,out}, and the rpc_server_dispatch_ns histogram,
+// all in the global obs registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campuslab/store/shard.h"
+#include "campuslab/store/wire.h"
+#include "campuslab/util/result.h"
+#include "campuslab/util/time.h"
+
+namespace campuslab::store {
+
+struct ShardServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; port() reports the kernel's choice after start().
+  std::uint16_t port = 0;
+  /// Bound on one frame body; larger advertised lengths are rejected
+  /// before allocation.
+  std::size_t max_body = wire::kDefaultMaxBody;
+  /// Reap connections quiet for this long (0 disables). The poll tick
+  /// rounds enforcement to ~50 ms.
+  Duration idle_timeout = Duration::seconds(30);
+  int listen_backlog = 64;
+};
+
+class ShardServer {
+ public:
+  explicit ShardServer(ShardServerConfig config = {});
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Register a shard under a wire shard id. Must happen before
+  /// start(); the server never takes ownership.
+  void add_shard(std::uint32_t id, StoreShard& shard);
+
+  /// Bind, listen, and spawn the poll loop. Error codes: "socket_bind"
+  /// / "socket_listen" / "socket_io".
+  Status start();
+
+  /// Stop the loop and close every connection. Idempotent.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (after start()).
+  std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Frames dispatched to a shard so far (replies + error replies).
+  std::uint64_t frames_served() const noexcept {
+    return frames_served_.load(std::memory_order_relaxed);
+  }
+  /// Connections torn down for protocol violations or idle timeout.
+  std::uint64_t connections_rejected() const noexcept {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  void run();
+  /// One request frame -> one encoded reply frame (never throws).
+  std::vector<std::uint8_t> dispatch(const wire::Frame& request);
+
+  ShardServerConfig config_;
+  std::vector<std::pair<std::uint32_t, StoreShard*>> shards_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: stop() wakes poll()
+  std::uint16_t bound_port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> frames_served_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+};
+
+}  // namespace campuslab::store

@@ -1,0 +1,433 @@
+#include "campuslab/store/remote_shard.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "campuslab/obs/registry.h"
+#include "campuslab/resilience/fault.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define CAMPUSLAB_HAVE_SOCKETS 1
+#endif
+
+namespace campuslab::store {
+
+#if defined(CAMPUSLAB_HAVE_SOCKETS)
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Error refused() {
+  return Error::make("connect_refused", "connection refused by peer");
+}
+Error timed_out(const char* what) {
+  return Error::make("rpc_timeout", std::string(what) + " deadline exceeded");
+}
+Error io_error(const char* what) {
+  return Error::make("rpc_io", std::string(what) + ": " +
+                                   std::strerror(errno));
+}
+
+/// Remaining milliseconds of a deadline for poll(), floored at 0.
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+struct ClientMetrics {
+  obs::Counter& calls;
+  obs::Counter& bytes_out;
+  obs::Counter& bytes_in;
+  obs::Counter& reconnects;
+  obs::Counter& errors;
+  obs::Histogram& latency;
+
+  static ClientMetrics& instance() {
+    auto& r = obs::Registry::global();
+    static ClientMetrics m{r.counter("rpc.client_calls"),
+                           r.counter("rpc.client_bytes_out"),
+                           r.counter("rpc.client_bytes_in"),
+                           r.counter("rpc.client_reconnects"),
+                           r.counter("rpc.client_errors"),
+                           r.histogram("rpc_client_call_ns")};
+    return m;
+  }
+};
+
+}  // namespace
+
+RemoteShard::RemoteShard(RemoteShardConfig config)
+    : config_(std::move(config)) {}
+
+RemoteShard::~RemoteShard() {
+  std::lock_guard lock(mutex_);
+  close_locked();
+}
+
+void RemoteShard::close_locked() const {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  reused_ = false;
+}
+
+Status RemoteShard::connect_locked() const {
+  // Fault hook: a planned refused-connection without a dead process.
+  if (Status st = resilience::fault_point_status("rpc.connect"); !st.ok())
+    return refused();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return io_error("socket");
+  set_nonblocking(fd_);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    close_locked();
+    return Error::make("socket_bind", "bad host " + config_.host);
+  }
+  const int rc =
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    const bool was_refused = errno == ECONNREFUSED;
+    close_locked();
+    return was_refused ? Status(refused()) : Status(io_error("connect"));
+  }
+  if (rc != 0) {
+    // Non-blocking connect: wait for writability, then read SO_ERROR.
+    const auto deadline =
+        Clock::now() +
+        std::chrono::nanoseconds(config_.connect_timeout.count_nanos());
+    pollfd pfd{fd_, POLLOUT, 0};
+    for (;;) {
+      const int pr = ::poll(&pfd, 1, remaining_ms(deadline));
+      if (pr > 0) break;
+      if (pr == 0) {
+        close_locked();
+        return timed_out("connect");
+      }
+      if (errno != EINTR) {
+        close_locked();
+        return io_error("connect poll");
+      }
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      const bool was_refused = so_error == ECONNREFUSED;
+      close_locked();
+      if (was_refused) return refused();
+      errno = so_error;
+      return io_error("connect");
+    }
+  }
+  if (ever_connected_) {
+    ++reconnects_;
+    ClientMetrics::instance().reconnects.increment();
+  }
+  ever_connected_ = true;
+  reused_ = false;
+  return Status::success();
+}
+
+Status RemoteShard::send_all_locked(std::span<const std::uint8_t> data,
+                                    Duration budget) const {
+  if (Status st = resilience::fault_point_status("rpc.send"); !st.ok()) {
+    close_locked();
+    return Error::make("rpc_io", "injected send fault");
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::nanoseconds(budget.count_nanos());
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      ClientMetrics::instance().bytes_out.add(static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, remaining_ms(deadline));
+      if (pr == 0) {
+        close_locked();
+        return timed_out("send");
+      }
+      if (pr < 0 && errno != EINTR) {
+        close_locked();
+        return io_error("send poll");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_locked();
+    return io_error("send");
+  }
+  return Status::success();
+}
+
+Result<wire::Frame> RemoteShard::read_frame_locked(Duration budget) const {
+  if (Status st = resilience::fault_point_status("rpc.recv"); !st.ok()) {
+    close_locked();
+    return Error::make("rpc_io", "injected recv fault");
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::nanoseconds(budget.count_nanos());
+  wire::FrameAssembler assembler(config_.max_body);
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    auto next = assembler.next();
+    if (!next.ok()) {
+      // Framing violation: the stream is unrecoverable.
+      close_locked();
+      return next.error();
+    }
+    if (next.value().has_value()) return std::move(*next.value());
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      assembler.feed(
+          std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      ClientMetrics::instance().bytes_in.add(static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      close_locked();
+      return Error::make("rpc_io", "connection closed by peer");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, remaining_ms(deadline));
+      if (pr == 0) {
+        close_locked();
+        return timed_out("reply");
+      }
+      if (pr < 0 && errno != EINTR) {
+        close_locked();
+        return io_error("recv poll");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    close_locked();
+    return io_error("recv");
+  }
+}
+
+Result<std::vector<std::uint8_t>> RemoteShard::call(
+    wire::MsgType type, const std::vector<std::uint8_t>& body,
+    wire::MsgType expect) const {
+  std::lock_guard lock(mutex_);
+  auto& metrics = ClientMetrics::instance();
+  metrics.calls.increment();
+  const auto t0 = Clock::now();
+
+  // Two passes at most: a failure on a *reused* connection before the
+  // request was fully delivered earns one transparent reconnect+resend
+  // (the idle-close race); everything else surfaces.
+  for (int pass = 0;; ++pass) {
+    if (fd_ < 0) {
+      if (Status st = connect_locked(); !st.ok()) {
+        metrics.errors.increment();
+        return st.error();
+      }
+    }
+    const bool was_reused = reused_;
+    const std::uint64_t request_id = next_request_++;
+    const auto frame = wire::encode_frame(type, config_.shard, request_id,
+                                          body);
+
+    if (Status st = send_all_locked(frame, config_.io_timeout); !st.ok()) {
+      if (was_reused && pass == 0 && st.error().code == "rpc_io") continue;
+      metrics.errors.increment();
+      return st.error();
+    }
+    auto reply = read_frame_locked(config_.io_timeout);
+    if (!reply.ok()) {
+      // EOF before a byte of reply on a reused connection: the server
+      // idle-closed before our request arrived — resend once. (If it
+      // did arrive, shard-side idempotent replay keeps a resend safe.)
+      if (was_reused && pass == 0 && reply.error().code == "rpc_io")
+        continue;
+      metrics.errors.increment();
+      return reply.error();
+    }
+    reused_ = true;
+    const wire::FrameHeader& header = reply.value().header;
+    if (header.type == wire::MsgType::kError) {
+      // Either our request's error reply, or a farewell frame (request
+      // id 0: a framing violation the server couldn't attribute — it
+      // is closing the stream, so drop the socket and surface the
+      // server's code verbatim).
+      metrics.errors.increment();
+      if (header.request_id != request_id) close_locked();
+      Error remote;
+      if (Status st = wire::decode_error(reply.value().body, remote);
+          !st.ok()) {
+        close_locked();
+        return st.error();
+      }
+      if (header.request_id != request_id && header.request_id != 0)
+        return Error::make("wire_corrupt", "reply for a different request");
+      return remote;
+    }
+    if (header.request_id != request_id) {
+      close_locked();
+      metrics.errors.increment();
+      return Error::make("wire_corrupt", "reply for a different request");
+    }
+    metrics.latency.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count()));
+    if (header.type != expect) {
+      close_locked();
+      metrics.errors.increment();
+      return Error::make("wire_corrupt", "unexpected reply type");
+    }
+    return std::move(reply.value().body);
+  }
+}
+
+Result<ShardIngestAck> RemoteShard::ingest(const ShardIngestBatch& batch) {
+  auto body = call(wire::MsgType::kIngest, wire::encode_ingest(batch),
+                   wire::MsgType::kIngestAck);
+  if (!body.ok()) return body.error();
+  return wire::decode_ingest_ack(body.value());
+}
+
+Status RemoteShard::ingest_log(const LogEvent& event) {
+  auto body = call(wire::MsgType::kIngestLog, wire::encode_log_event(event),
+                   wire::MsgType::kIngestLogOk);
+  if (!body.ok()) return body.error();
+  if (!body.value().empty())
+    return Error::make("wire_corrupt", "non-empty ingest-log reply");
+  return Status::success();
+}
+
+Result<ShardQueryRows> RemoteShard::query(const ShardQueryPlan& plan) const {
+  auto body = call(wire::MsgType::kQuery, wire::encode_query_plan(plan),
+                   wire::MsgType::kQueryRows);
+  if (!body.ok()) return body.error();
+  return wire::decode_query_rows(body.value());
+}
+
+Result<AggregateResult> RemoteShard::aggregate(const FlowQuery& q,
+                                               GroupBy group_by,
+                                               std::size_t top_k) const {
+  wire::AggregatePlan plan;
+  plan.query = q;
+  plan.group_by = group_by;
+  plan.top_k = top_k;
+  auto body =
+      call(wire::MsgType::kAggregate, wire::encode_aggregate_plan(plan),
+           wire::MsgType::kAggregateReply);
+  if (!body.ok()) return body.error();
+  return wire::decode_aggregate_result(body.value());
+}
+
+Result<LogResult> RemoteShard::query_logs(const LogQuery& q) const {
+  auto body = call(wire::MsgType::kQueryLogs, wire::encode_log_query(q),
+                   wire::MsgType::kLogReply);
+  if (!body.ok()) return body.error();
+  auto events = wire::decode_log_reply(body.value());
+  if (!events.ok()) return events.error();
+  return LogResult(std::move(events).value());
+}
+
+Result<CatalogInfo> RemoteShard::catalog() const {
+  auto body = call(wire::MsgType::kCatalog, {}, wire::MsgType::kCatalogReply);
+  if (!body.ok()) return body.error();
+  return wire::decode_catalog(body.value());
+}
+
+Result<std::uint64_t> RemoteShard::flow_count() const {
+  auto body =
+      call(wire::MsgType::kFlowCount, {}, wire::MsgType::kFlowCountReply);
+  if (!body.ok()) return body.error();
+  return wire::decode_flow_count(body.value());
+}
+
+Status RemoteShard::ping() const {
+  auto body = call(wire::MsgType::kPing, {}, wire::MsgType::kPong);
+  if (!body.ok()) return body.error();
+  return Status::success();
+}
+
+bool RemoteShard::connected() const {
+  std::lock_guard lock(mutex_);
+  return fd_ >= 0;
+}
+
+std::uint64_t RemoteShard::reconnects() const noexcept {
+  std::lock_guard lock(mutex_);
+  return reconnects_;
+}
+
+#else  // !CAMPUSLAB_HAVE_SOCKETS
+
+namespace {
+Error unsupported() {
+  return Error::make("socket_io", "no socket support on this platform");
+}
+}  // namespace
+
+RemoteShard::RemoteShard(RemoteShardConfig config)
+    : config_(std::move(config)) {}
+RemoteShard::~RemoteShard() = default;
+void RemoteShard::close_locked() const {}
+Status RemoteShard::connect_locked() const { return unsupported(); }
+Status RemoteShard::send_all_locked(std::span<const std::uint8_t>,
+                                    Duration) const {
+  return unsupported();
+}
+Result<wire::Frame> RemoteShard::read_frame_locked(Duration) const {
+  return unsupported();
+}
+Result<std::vector<std::uint8_t>> RemoteShard::call(wire::MsgType,
+                                                    const std::vector<std::uint8_t>&,
+                                                    wire::MsgType) const {
+  return unsupported();
+}
+Result<ShardIngestAck> RemoteShard::ingest(const ShardIngestBatch&) {
+  return unsupported();
+}
+Status RemoteShard::ingest_log(const LogEvent&) { return unsupported(); }
+Result<ShardQueryRows> RemoteShard::query(const ShardQueryPlan&) const {
+  return unsupported();
+}
+Result<AggregateResult> RemoteShard::aggregate(const FlowQuery&, GroupBy,
+                                               std::size_t) const {
+  return unsupported();
+}
+Result<LogResult> RemoteShard::query_logs(const LogQuery&) const {
+  return unsupported();
+}
+Result<CatalogInfo> RemoteShard::catalog() const { return unsupported(); }
+Result<std::uint64_t> RemoteShard::flow_count() const {
+  return unsupported();
+}
+Status RemoteShard::ping() const { return unsupported(); }
+bool RemoteShard::connected() const { return false; }
+std::uint64_t RemoteShard::reconnects() const noexcept { return 0; }
+
+#endif
+
+}  // namespace campuslab::store

@@ -9,6 +9,7 @@
 #include "campuslab/obs/registry.h"
 #include "campuslab/obs/stage_timer.h"
 #include "campuslab/util/bytes.h"
+#include "campuslab/util/codec.h"
 #include "campuslab/util/hash.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -28,61 +29,15 @@ namespace {
 constexpr std::uint64_t kMagic = 0x434C53454730310AULL;
 
 // Standard-basis FNV-1a from util/hash.h; the golden segment fixture
-// pins that checksums are unchanged across the dedup.
+// pins that checksums are unchanged across the dedup. The varint /
+// zigzag codecs and the sticky-failure decoder moved to util/codec.h
+// (shared with the shard wire protocol); the fixture equally pins that
+// the shared implementation emits identical bytes.
 using util::fnv1a;
-
-void put_varint(ByteWriter& w, std::uint64_t v) {
-  while (v >= 0x80) {
-    w.u8(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  w.u8(static_cast<std::uint8_t>(v));
-}
-
-// Deltas between unordered values wrap through unsigned space and back,
-// so every i64 pair round-trips exactly — the encoder is total.
-std::uint64_t zigzag(std::int64_t v) noexcept {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-std::int64_t unzigzag(std::uint64_t v) noexcept {
-  return static_cast<std::int64_t>(v >> 1) ^
-         -static_cast<std::int64_t>(v & 1);
-}
-
-/// Sticky-failure payload decoder: every read is bounds-checked, a
-/// malformed varint or underrun poisons the decoder, and callers check
-/// once per column group rather than per field.
-struct Decoder {
-  ByteReader r;
-  bool failed = false;
-
-  explicit Decoder(std::span<const std::uint8_t> data) : r(data) {}
-
-  std::uint64_t varint() noexcept {
-    std::uint64_t v = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-      const std::uint8_t b = r.u8();
-      if (!r.ok()) break;
-      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-      if ((b & 0x80) == 0) {
-        // The 10th byte holds only bit 63; anything more is overlong.
-        if (shift == 63 && (b & 0x7E) != 0) break;
-        return v;
-      }
-      if (shift == 63) break;  // continuation past 64 bits
-    }
-    failed = true;
-    return 0;
-  }
-
-  /// varint constrained to [0, bound]; poisons the decoder past it.
-  std::uint64_t varint_at_most(std::uint64_t bound) noexcept {
-    const std::uint64_t v = varint();
-    if (v > bound) failed = true;
-    return failed ? 0 : v;
-  }
-};
+using util::put_varint;
+using util::unzigzag;
+using util::zigzag;
+using Decoder = util::VarintDecoder;
 
 /// Strictly ascending offset list (the shape every inverted-index
 /// posting list has): absolute first value, then deltas >= 1, all

@@ -17,7 +17,14 @@ Result<ShardIngestAck> LocalShard::ingest(const ShardIngestBatch& batch) {
     // DataStore; the prefix-ack contract hands the tail back on failure.
     const Status st = resilience::fault_point_status("store.ingest");
     if (!st.ok()) break;
+    // Ascending-id replay dedup: an explicit id we already applied is a
+    // retransmitted copy — ack it without storing twice.
+    if (row.id != 0 && row.id <= last_applied_id_) {
+      ++ack.applied;
+      continue;
+    }
     store_->ingest(row);
+    if (row.id != 0) last_applied_id_ = row.id;
     ++ack.applied;
   }
   return ack;
@@ -59,6 +66,6 @@ Result<LogResult> LocalShard::query_logs(const LogQuery& q) const {
   return store_->query_logs(q);
 }
 
-CatalogInfo LocalShard::catalog() const { return store_->catalog(); }
+Result<CatalogInfo> LocalShard::catalog() const { return store_->catalog(); }
 
 }  // namespace campuslab::store

@@ -1,0 +1,383 @@
+#include "campuslab/store/shard_server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <exception>
+
+#include "campuslab/obs/registry.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define CAMPUSLAB_HAVE_SOCKETS 1
+#endif
+
+namespace campuslab::store {
+
+#if defined(CAMPUSLAB_HAVE_SOCKETS)
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+/// Per-client state. `out` drains opportunistically after every
+/// dispatch and under POLLOUT; `closing` flushes the farewell error
+/// reply before the fd drops.
+struct ShardServer::Connection {
+  int fd = -1;
+  wire::FrameAssembler assembler;
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos = 0;
+  Clock::time_point last_activity;
+  bool closing = false;  // flush `out`, then close
+
+  explicit Connection(int f, std::size_t max_body)
+      : fd(f), assembler(max_body), last_activity(Clock::now()) {}
+};
+
+ShardServer::ShardServer(ShardServerConfig config)
+    : config_(std::move(config)) {}
+
+ShardServer::~ShardServer() { stop(); }
+
+void ShardServer::add_shard(std::uint32_t id, StoreShard& shard) {
+  shards_.emplace_back(id, &shard);
+}
+
+Status ShardServer::start() {
+  if (running_.load(std::memory_order_acquire)) return Status::success();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Error::make("socket_io", std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error::make("socket_bind",
+                       "bad bind address " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Error e = Error::make("socket_bind", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return e;
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) != 0) {
+    const Error e = Error::make("socket_listen", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return e;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  if (!set_nonblocking(listen_fd_) || ::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error::make("socket_io", "nonblocking/self-pipe setup failed");
+  }
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { run(); });
+  return Status::success();
+}
+
+void ShardServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  if (loop_.joinable()) loop_.join();
+  running_.store(false, std::memory_order_release);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+std::vector<std::uint8_t> ShardServer::dispatch(const wire::Frame& request) {
+  using wire::MsgType;
+  const std::uint32_t shard_id = request.header.shard;
+  const std::uint64_t req = request.header.request_id;
+  auto error_reply = [&](const Error& e) {
+    return wire::encode_frame(MsgType::kError, shard_id, req,
+                              wire::encode_error(e));
+  };
+  auto reply = [&](MsgType type, std::vector<std::uint8_t> body) {
+    return wire::encode_frame(type, shard_id, req, body);
+  };
+
+  StoreShard* shard = nullptr;
+  for (const auto& [id, s] : shards_)
+    if (id == shard_id) shard = s;
+  if (shard == nullptr)
+    return error_reply(Error::make(
+        "shard_unknown", "no shard " + std::to_string(shard_id)));
+
+  frames_served_.fetch_add(1, std::memory_order_relaxed);
+  const std::span<const std::uint8_t> body(request.body);
+  try {
+    switch (request.header.type) {
+      case MsgType::kPing:
+        return reply(MsgType::kPong, {});
+      case MsgType::kIngest: {
+        auto batch = wire::decode_ingest(body);
+        if (!batch.ok()) return error_reply(batch.error());
+        auto ack = shard->ingest(batch.value());
+        if (!ack.ok()) return error_reply(ack.error());
+        return reply(MsgType::kIngestAck,
+                     wire::encode_ingest_ack(ack.value()));
+      }
+      case MsgType::kIngestLog: {
+        auto event = wire::decode_log_event(body);
+        if (!event.ok()) return error_reply(event.error());
+        if (Status st = shard->ingest_log(event.value()); !st.ok())
+          return error_reply(st.error());
+        return reply(MsgType::kIngestLogOk, {});
+      }
+      case MsgType::kQuery: {
+        auto plan = wire::decode_query_plan(body);
+        if (!plan.ok()) return error_reply(plan.error());
+        auto rows = shard->query(plan.value());
+        if (!rows.ok()) return error_reply(rows.error());
+        return reply(MsgType::kQueryRows,
+                     wire::encode_query_rows(rows.value()));
+      }
+      case MsgType::kAggregate: {
+        auto plan = wire::decode_aggregate_plan(body);
+        if (!plan.ok()) return error_reply(plan.error());
+        auto result = shard->aggregate(plan.value().query,
+                                       plan.value().group_by,
+                                       plan.value().top_k);
+        if (!result.ok()) return error_reply(result.error());
+        return reply(MsgType::kAggregateReply,
+                     wire::encode_aggregate_result(result.value()));
+      }
+      case MsgType::kQueryLogs: {
+        auto q = wire::decode_log_query(body);
+        if (!q.ok()) return error_reply(q.error());
+        auto result = shard->query_logs(q.value());
+        if (!result.ok()) return error_reply(result.error());
+        return reply(MsgType::kLogReply,
+                     wire::encode_log_reply(std::vector<LogEvent>(
+                         result.value().begin(), result.value().end())));
+      }
+      case MsgType::kCatalog: {
+        if (!body.empty())
+          return error_reply(
+              Error::make("wire_corrupt", "catalog request carries a body"));
+        auto info = shard->catalog();
+        if (!info.ok()) return error_reply(info.error());
+        return reply(MsgType::kCatalogReply,
+                     wire::encode_catalog(info.value()));
+      }
+      case MsgType::kFlowCount: {
+        if (!body.empty())
+          return error_reply(Error::make(
+              "wire_corrupt", "flow-count request carries a body"));
+        auto count = shard->flow_count();
+        if (!count.ok()) return error_reply(count.error());
+        return reply(MsgType::kFlowCountReply,
+                     wire::encode_flow_count(count.value()));
+      }
+      default:
+        // A reply type arriving as a request is a peer bug, but the
+        // stream framing is intact — answer and carry on.
+        return error_reply(Error::make(
+            "wire_type",
+            "message type " +
+                std::to_string(
+                    static_cast<unsigned>(request.header.type)) +
+                " is not a request"));
+    }
+  } catch (const std::exception& e) {
+    // An escaped shard exception (injected fault, bad_alloc) must not
+    // take the transport down with it.
+    return error_reply(Error::make("shard_exception", e.what()));
+  }
+}
+
+void ShardServer::run() {
+  auto& registry = obs::Registry::global();
+  obs::Counter& obs_connections = registry.counter("rpc.server_connections");
+  obs::Counter& obs_frames = registry.counter("rpc.server_frames");
+  obs::Counter& obs_rejects = registry.counter("rpc.server_rejects");
+  obs::Counter& obs_bytes_in = registry.counter("rpc.server_bytes_in");
+  obs::Counter& obs_bytes_out = registry.counter("rpc.server_bytes_out");
+  obs::Histogram& obs_dispatch =
+      registry.histogram("rpc_server_dispatch_ns");
+
+  std::deque<Connection> connections;
+  std::vector<pollfd> fds;
+  std::uint8_t buf[64 * 1024];
+
+  auto flush = [&](Connection& conn) {
+    while (conn.out_pos < conn.out.size()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data() + conn.out_pos,
+                 conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_pos += static_cast<std::size_t>(n);
+        obs_bytes_out.add(static_cast<std::uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;  // peer gone
+    }
+    if (conn.out_pos == conn.out.size()) {
+      conn.out.clear();
+      conn.out_pos = 0;
+    }
+    return true;
+  };
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    for (const Connection& conn : connections) {
+      short events = POLLIN;
+      if (conn.out_pos < conn.out.size()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
+    // Connections accepted below are NOT in this round's pollfd set;
+    // bound the servicing loop to the ones that were polled.
+    const std::size_t polled = connections.size();
+    ::poll(fds.data(), fds.size(), 50);
+
+    if (fds[1].revents & POLLIN) {
+      char drain[16];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    // Accept everything pending.
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        connections.emplace_back(fd, config_.max_body);
+        obs_connections.increment();
+      }
+    }
+
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < polled; ++i) {
+      Connection& conn = connections[i];
+      const pollfd& pfd = fds[2 + i];
+      bool drop = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                  (pfd.revents & POLLIN) == 0;
+
+      if (!drop && (pfd.revents & POLLIN) && !conn.closing) {
+        for (;;) {
+          const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn.assembler.feed(
+                std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+            obs_bytes_in.add(static_cast<std::uint64_t>(n));
+            conn.last_activity = now;
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          drop = true;  // orderly EOF or hard error
+          break;
+        }
+        while (!drop && !conn.closing) {
+          auto next = conn.assembler.next();
+          if (!next.ok()) {
+            // Unrecoverable framing: one farewell error reply, flush,
+            // close. request id 0 — the id never parsed.
+            const auto farewell =
+                wire::encode_frame(wire::MsgType::kError, 0, 0,
+                                   wire::encode_error(next.error()));
+            conn.out.insert(conn.out.end(), farewell.begin(),
+                            farewell.end());
+            conn.closing = true;
+            connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+            obs_rejects.increment();
+            break;
+          }
+          if (!next.value().has_value()) break;  // need more bytes
+          const auto t0 = Clock::now();
+          const auto reply = dispatch(*next.value());
+          obs_dispatch.observe(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - t0)
+                  .count()));
+          obs_frames.increment();
+          conn.out.insert(conn.out.end(), reply.begin(), reply.end());
+        }
+      }
+
+      if (!drop && (conn.out_pos < conn.out.size())) drop = !flush(conn);
+      if (!drop && conn.closing && conn.out_pos >= conn.out.size())
+        drop = true;
+      if (!drop && config_.idle_timeout.count_nanos() > 0 &&
+          now - conn.last_activity >
+              std::chrono::nanoseconds(config_.idle_timeout.count_nanos())) {
+        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+        obs_rejects.increment();
+        drop = true;
+      }
+      if (drop) {
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+    }
+    for (std::size_t i = connections.size(); i-- > 0;) {
+      if (connections[i].fd < 0)
+        connections.erase(connections.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  for (Connection& conn : connections) ::close(conn.fd);
+  connections.clear();
+}
+
+#else  // !CAMPUSLAB_HAVE_SOCKETS
+
+struct ShardServer::Connection {};
+ShardServer::ShardServer(ShardServerConfig config)
+    : config_(std::move(config)) {}
+ShardServer::~ShardServer() = default;
+void ShardServer::add_shard(std::uint32_t, StoreShard&) {}
+Status ShardServer::start() {
+  return Error::make("socket_io", "no socket support on this platform");
+}
+void ShardServer::stop() {}
+std::vector<std::uint8_t> ShardServer::dispatch(const wire::Frame&) {
+  return {};
+}
+void ShardServer::run() {}
+
+#endif
+
+}  // namespace campuslab::store

@@ -1,0 +1,76 @@
+// Shared variable-length integer codecs.
+//
+// LEB128 varints, zigzag signed mapping, and a sticky-failure varint
+// decoder — the primitives both durable formats use: the CLSEG01
+// columnar segment file (store/segment_file.cpp) and the CLRP01 shard
+// wire protocol (store/wire.cpp). One implementation means one set of
+// totality guarantees: a varint is rejected as overlong past 10 bytes
+// or non-minimal in its final byte, every read is bounds-checked
+// through ByteReader, and failure is sticky so callers validate once
+// per message instead of once per field.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "campuslab/util/bytes.h"
+
+namespace campuslab::util {
+
+/// Append `v` as an LEB128 varint (1..10 bytes).
+inline void put_varint(ByteWriter& w, std::uint64_t v) {
+  while (v >= 0x80) {
+    w.u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w.u8(static_cast<std::uint8_t>(v));
+}
+
+/// Zigzag map: deltas between unordered values wrap through unsigned
+/// space and back, so every i64 pair round-trips exactly — the encoder
+/// is total.
+inline constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Sticky-failure varint decoder: every read is bounds-checked, a
+/// malformed (truncated / overlong / continuation-past-64-bit) varint
+/// poisons the decoder, and callers check once per column or message
+/// group rather than per field.
+struct VarintDecoder {
+  ByteReader r;
+  bool failed = false;
+
+  explicit VarintDecoder(std::span<const std::uint8_t> data) : r(data) {}
+
+  std::uint64_t varint() noexcept {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = r.u8();
+      if (!r.ok()) break;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        // The 10th byte holds only bit 63; anything more is overlong.
+        if (shift == 63 && (b & 0x7E) != 0) break;
+        return v;
+      }
+      if (shift == 63) break;  // continuation past 64 bits
+    }
+    failed = true;
+    return 0;
+  }
+
+  /// varint constrained to [0, bound]; poisons the decoder past it.
+  std::uint64_t varint_at_most(std::uint64_t bound) noexcept {
+    const std::uint64_t v = varint();
+    if (v > bound) failed = true;
+    return failed ? 0 : v;
+  }
+};
+
+}  // namespace campuslab::util

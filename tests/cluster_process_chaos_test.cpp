@@ -1,0 +1,375 @@
+// Kill-a-PROCESS chaos for the socket-backed cluster: N real
+// shard-server processes (shard_server_proc) on loopback, the PR 7
+// failover battery running over actual TCP connections, and a victim
+// process SIGKILLed mid-ingest — no flush, no farewell, a crashed
+// node. The contract is the same one the in-process battery
+// (cluster_failover_test) holds: zero lost acked flows, and queries
+// bit-identical to a single-node store with the victim gone.
+//
+// What only a real process kill exercises: the RST/EOF a dying kernel
+// socket delivers to in-flight connections (rpc_io -> transparent
+// reconnect -> ECONNREFUSED), the cluster's connect-refused
+// classification flipping the node dead without burning the retry
+// budget, and the idempotent-replay guard absorbing the resend of any
+// batch whose ack died with the victim.
+//
+// CI runs this under the same CAMPUSLAB_FAULT_SEED matrix as the
+// in-process chaos suite; the seed picks the victim, so the matrix
+// covers different nodes.
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campuslab/resilience/fault.h"
+#include "campuslab/store/cluster.h"
+#include "campuslab/store/query_engine.h"
+#include "campuslab/store/remote_shard.h"
+#include "campuslab/util/rng.h"
+
+namespace campuslab::store {
+namespace {
+
+using capture::FlowRecord;
+using packet::Ipv4Address;
+using packet::TrafficLabel;
+using resilience::FaultKind;
+using resilience::FaultPlan;
+using resilience::FaultScope;
+using resilience::FaultSpec;
+
+std::vector<FlowRecord> canonical_flows(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FlowRecord> flows;
+  flows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FlowRecord f;
+    const Ipv4Address src(
+        static_cast<std::uint32_t>(0x0A020000 + rng.below(48)));
+    const Ipv4Address dst(
+        static_cast<std::uint32_t>(0xC0A80000 + rng.below(128)));
+    f.tuple = packet::FiveTuple{
+        src, dst, static_cast<std::uint16_t>(1024 + rng.below(50000)),
+        static_cast<std::uint16_t>(rng.chance(0.5) ? 443 : 53),
+        static_cast<std::uint8_t>(rng.chance(0.6) ? 6 : 17)};
+    f.first_ts = Timestamp::from_seconds(rng.uniform(0, 300));
+    f.last_ts = f.first_ts + Duration::from_seconds(rng.uniform(0.001, 10));
+    f.packets = 1 + rng.below(500);
+    f.bytes = f.packets * (64 + rng.below(1200));
+    f.label_packets[static_cast<std::size_t>(TrafficLabel::kBenign)] =
+        f.packets;
+    flows.push_back(f);
+  }
+  std::stable_sort(flows.begin(), flows.end(), capture::flow_export_before);
+  return flows;
+}
+
+FaultPlan rpc_chaos_plan(std::uint64_t seed, double probability) {
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultSpec spec;
+  spec.site = "store.shard_rpc";
+  spec.kind = FaultKind::kFail;
+  spec.probability = probability;
+  plan.faults.push_back(spec);
+  return plan;
+}
+
+/// N shard-server child processes publishing ephemeral ports through
+/// port files. Teardown SIGTERMs the survivors and reaps everything —
+/// no zombies across test cases.
+struct ServerFleet {
+  struct Proc {
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+    std::filesystem::path port_file;
+  };
+
+  std::filesystem::path dir;
+  std::vector<Proc> procs;
+
+  explicit ServerFleet(std::size_t nodes, std::size_t segment_flows = 250) {
+    dir = std::filesystem::temp_directory_path() /
+          ("campuslab_proc_chaos_" + std::to_string(::getpid()) + "_" +
+           std::to_string(next_fleet_id()));
+    std::filesystem::create_directories(dir);
+    procs.resize(nodes);
+    for (std::size_t i = 0; i < nodes; ++i)
+      spawn(i, nodes, segment_flows);
+    for (std::size_t i = 0; i < nodes; ++i)
+      EXPECT_TRUE(wait_for_port(procs[i]))
+          << "node " << i << " never published a port";
+  }
+
+  ~ServerFleet() {
+    for (Proc& proc : procs) terminate_soft(proc);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  static std::size_t next_fleet_id() {
+    static std::size_t id = 0;
+    return id++;
+  }
+
+  void spawn(std::size_t node, std::size_t nodes,
+             std::size_t segment_flows) {
+    Proc& proc = procs[node];
+    proc.port_file = dir / ("node" + std::to_string(node) + ".port");
+    const std::string nodes_s = std::to_string(nodes);
+    const std::string node_s = std::to_string(node);
+    const std::string seg_s = std::to_string(segment_flows);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execl(CAMPUSLAB_SHARD_SERVER_BIN, CAMPUSLAB_SHARD_SERVER_BIN,
+              "--port-file", proc.port_file.c_str(), "--nodes",
+              nodes_s.c_str(), "--node", node_s.c_str(), "--segment-flows",
+              seg_s.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    ASSERT_GT(pid, 0) << "fork failed";
+    proc.pid = pid;
+  }
+
+  static bool wait_for_port(Proc& proc) {
+    for (int waited_ms = 0; waited_ms < 10000; waited_ms += 10) {
+      std::ifstream in(proc.port_file);
+      unsigned port = 0;
+      if (in >> port && port != 0) {
+        proc.port = static_cast<std::uint16_t>(port);
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  /// The chaos switch: SIGKILL, the process vanishes mid-whatever.
+  void kill_hard(std::size_t node) {
+    Proc& proc = procs[node];
+    if (proc.pid <= 0) return;
+    ::kill(proc.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(proc.pid, &status, 0);
+    EXPECT_TRUE(WIFSIGNALED(status));
+    proc.pid = -1;
+  }
+
+  static void terminate_soft(Proc& proc) {
+    if (proc.pid <= 0) return;
+    ::kill(proc.pid, SIGTERM);
+    ::waitpid(proc.pid, nullptr, 0);
+    proc.pid = -1;
+  }
+
+  ShardFactory factory() {
+    return [this](NodeId via, NodeId owner,
+                  DataStoreConfig) -> std::unique_ptr<StoreShard> {
+      RemoteShardConfig cfg;
+      cfg.port = procs[via].port;
+      cfg.shard = owner == via ? 0u : 1u + owner;
+      return std::make_unique<RemoteShard>(cfg);
+    };
+  }
+};
+
+/// Sanity gate for the harness itself: a fresh process fleet serves
+/// the full query battery bit-identically to a single-node store —
+/// every row, aggregate, and cursor step crossing process boundaries.
+TEST(ProcessCluster, BitIdenticalOverRealProcessesWhileHealthy) {
+  const auto flows = canonical_flows(2000, 0x50C7);
+  DataStoreConfig single_cfg;
+  single_cfg.segment_flows = 250;
+  DataStore single(single_cfg);
+  for (const auto& f : flows) single.ingest(f);
+
+  ServerFleet fleet(4);
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.node_store.segment_flows = 250;
+  cfg.shard_factory = fleet.factory();
+  Cluster cluster(cfg);
+
+  const auto report = cluster.ingest(flows);
+  ASSERT_EQ(report.acked, flows.size());
+  ASSERT_EQ(report.lost, 0u);
+  ASSERT_EQ(report.fully_replicated, flows.size());
+
+  const auto expected = single.query(FlowQuery{});
+  const auto rows = cluster.query(FlowQuery{});
+  ASSERT_EQ(rows.size(), expected.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].id, expected[i].id) << "row " << i;
+    ASSERT_EQ(rows[i].flow.bytes, expected[i].flow.bytes) << "row " << i;
+  }
+
+  for (const GroupBy by : {GroupBy::kHost, GroupBy::kPort, GroupBy::kLabel}) {
+    const auto sa = single.aggregate(FlowQuery{}, by, 10);
+    const auto ca = cluster.aggregate(FlowQuery{}, by, 10);
+    ASSERT_EQ(sa.rows.size(), ca.rows.size());
+    ASSERT_EQ(sa.matched_flows, ca.matched_flows);
+    for (std::size_t i = 0; i < sa.rows.size(); ++i) {
+      EXPECT_EQ(sa.rows[i].key, ca.rows[i].key);
+      EXPECT_EQ(sa.rows[i].bytes, ca.rows[i].bytes);
+    }
+  }
+
+  FlowQuery cq;
+  cq.top(123);
+  const auto single_rows = single.query(cq);
+  auto cursor = cluster.open_cursor(cq);
+  std::size_t i = 0;
+  while (cursor.next()) {
+    ASSERT_LT(i, single_rows.size());
+    ASSERT_EQ(cursor.current().id, single_rows[i].id);
+    ++i;
+  }
+  ASSERT_EQ(i, single_rows.size());
+  EXPECT_EQ(single.catalog().total_bytes, cluster.catalog().total_bytes);
+}
+
+/// The headline: SIGKILL a seed-chosen server process mid-ingest,
+/// with seeded rpc chaos firing on the shard messages the whole time.
+/// Every flow acked before OR after the kill must survive, and the
+/// post-kill cluster must answer bit-identically to a single store —
+/// the victim's scope served by replicas on the surviving processes.
+TEST(ProcessCluster, SigkillAServerMidIngestLosesNoAckedFlows) {
+  const std::uint64_t seed = FaultPlan::seed_from_env(1);
+  const auto flows = canonical_flows(3000, 0xF00D);
+
+  DataStoreConfig single_cfg;
+  single_cfg.segment_flows = 250;
+  DataStore single(single_cfg);
+  for (const auto& f : flows) single.ingest(f);
+  const auto expected = single.query(FlowQuery{});
+  const auto expected_agg =
+      single.aggregate(FlowQuery{}, GroupBy::kHost, 10);
+
+  ServerFleet fleet(4);
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.node_store.segment_flows = 250;
+  cfg.shard_factory = fleet.factory();
+  Cluster cluster(cfg);
+
+  // First half of the stream lands with every process alive; ~5% of
+  // shard messages fail transiently and the retry policy absorbs them.
+  const std::size_t half = flows.size() / 2;
+  ClusterIngestReport first;
+  {
+    FaultScope chaos(rpc_chaos_plan(seed, 0.05));
+    first = cluster.ingest(std::span(flows).subspan(0, half));
+  }
+  ASSERT_EQ(first.acked, half) << "seed=" << seed;
+  ASSERT_EQ(first.lost, 0u) << "seed=" << seed;
+  ASSERT_EQ(first.fully_replicated, half) << "seed=" << seed;
+
+  // SIGKILL the victim between batches: its kernel sockets RST, its
+  // port refuses, and none of its shards ever answer again. The
+  // cluster has NOT been told — it must discover the death from the
+  // transport and keep acking through replicas.
+  const NodeId victim = static_cast<NodeId>(seed % cfg.nodes);
+  fleet.kill_hard(victim);
+
+  ClusterIngestReport second;
+  {
+    FaultScope chaos(rpc_chaos_plan(seed ^ 0x51D, 0.05));
+    second = cluster.ingest(std::span(flows).subspan(half));
+  }
+  ASSERT_EQ(second.acked, flows.size() - half)
+      << "every flow has a live copy target, seed=" << seed;
+  ASSERT_EQ(second.lost, 0u) << "seed=" << seed;
+  EXPECT_FALSE(cluster.alive(victim))
+      << "refused connects must have flipped the node dead";
+  EXPECT_EQ(cluster.live_nodes(), cfg.nodes - 1);
+
+  // Reads with chaos still firing: complete and bit-identical, the
+  // victim's owner scope served by replica stores over the sockets of
+  // the surviving processes.
+  {
+    FaultScope chaos(rpc_chaos_plan(seed ^ 0x9E37, 0.05));
+    const auto rows = cluster.query(FlowQuery{});
+    ASSERT_EQ(rows.size(), expected.size())
+        << "zero lost acked flows with process " << victim
+        << " SIGKILLed, seed=" << seed;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(rows[i].id, expected[i].id) << "row " << i;
+      ASSERT_EQ(rows[i].flow.bytes, expected[i].flow.bytes) << "row " << i;
+    }
+    EXPECT_GE(rows.stats().replica_scopes, 1u)
+        << "the victim's scope must have flipped to replicas";
+
+    const auto agg = cluster.aggregate(FlowQuery{}, GroupBy::kHost, 10);
+    ASSERT_EQ(agg.rows.size(), expected_agg.rows.size());
+    for (std::size_t i = 0; i < agg.rows.size(); ++i) {
+      EXPECT_EQ(agg.rows[i].key, expected_agg.rows[i].key) << "row " << i;
+      EXPECT_EQ(agg.rows[i].bytes, expected_agg.rows[i].bytes)
+          << "row " << i;
+    }
+  }
+
+  // Chaos off, process still gone: still bit-identical.
+  const auto calm = cluster.query(FlowQuery{});
+  ASSERT_EQ(calm.size(), expected.size());
+  for (std::size_t i = 0; i < calm.size(); ++i)
+    ASSERT_EQ(calm[i].id, expected[i].id);
+}
+
+/// A killed process also kills the REPLICA stores it hosted for other
+/// owners. Acked flows must survive that too (their primary copy is
+/// elsewhere), and catalog totals stay exact.
+TEST(ProcessCluster, VictimsReplicaStoresDieWithItToo) {
+  const std::uint64_t seed = FaultPlan::seed_from_env(1);
+  const auto flows = canonical_flows(1500, 0xD1E);
+
+  DataStoreConfig single_cfg;
+  single_cfg.segment_flows = 250;
+  DataStore single(single_cfg);
+  for (const auto& f : flows) single.ingest(f);
+
+  ServerFleet fleet(3);
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.node_store.segment_flows = 250;
+  cfg.shard_factory = fleet.factory();
+  Cluster cluster(cfg);
+
+  const auto report = cluster.ingest(flows);
+  ASSERT_EQ(report.acked, flows.size());
+  ASSERT_EQ(report.fully_replicated, flows.size());
+
+  fleet.kill_hard(static_cast<std::size_t>(seed % cfg.nodes));
+
+  const auto rows = cluster.query(FlowQuery{});
+  const auto expected = single.query(FlowQuery{});
+  ASSERT_EQ(rows.size(), expected.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    ASSERT_EQ(rows[i].id, expected[i].id);
+  EXPECT_EQ(cluster.size(), single.size());
+  EXPECT_EQ(cluster.catalog().total_bytes, single.catalog().total_bytes);
+}
+
+}  // namespace
+}  // namespace campuslab::store
+
+#else  // no sockets / no fork on this platform
+
+TEST(ProcessCluster, SkippedWithoutPosix) {
+  GTEST_SKIP() << "process chaos tests need fork/exec and sockets";
+}
+
+#endif

@@ -1,0 +1,110 @@
+// Standalone shard-server process for the kill-a-process chaos tests.
+//
+// Hosts one cluster node's shard set behind a ShardServer on an
+// ephemeral port: shard id 0 is the node's primary store, id 1+owner
+// its replica store for `owner` (the wire addressing convention the
+// Cluster's ShardFactory dials). The bound port is published by
+// atomically renaming a one-line port file into place, then the
+// process idles until SIGTERM (clean teardown) or SIGKILL (the chaos
+// battery's victim path — no flush, no goodbye, exactly like a crashed
+// node).
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campuslab/store/shard.h"
+#include "campuslab/store/shard_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_term(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port-file PATH --nodes N --node I"
+               " [--replication R] [--segment-flows F]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace campuslab;
+  using namespace campuslab::store;
+
+  std::string port_file;
+  std::size_t nodes = 1;
+  std::size_t node = 0;
+  std::size_t replication = 2;
+  std::size_t segment_flows = 250;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* val = argv[i + 1];
+    if (key == "--port-file") {
+      port_file = val;
+    } else if (key == "--nodes") {
+      nodes = std::strtoull(val, nullptr, 10);
+    } else if (key == "--node") {
+      node = std::strtoull(val, nullptr, 10);
+    } else if (key == "--replication") {
+      replication = std::strtoull(val, nullptr, 10);
+    } else if (key == "--segment-flows") {
+      segment_flows = std::strtoull(val, nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (port_file.empty() || nodes == 0 || node >= nodes)
+    return usage(argv[0]);
+
+  DataStoreConfig store_cfg;
+  store_cfg.segment_flows = segment_flows;
+
+  LocalShard primary(store_cfg);
+  std::vector<std::unique_ptr<LocalShard>> replicas(nodes);
+  ShardServer server;
+  server.add_shard(0, primary);
+  for (std::size_t owner = 0; owner < nodes; ++owner) {
+    if (owner == node || replication < 2) continue;
+    replicas[owner] = std::make_unique<LocalShard>(store_cfg);
+    server.add_shard(static_cast<std::uint32_t>(1 + owner),
+                     *replicas[owner]);
+  }
+  if (const Status st = server.start(); !st.ok()) {
+    std::fprintf(stderr, "shard_server_proc: start failed: %s\n",
+                 st.error().message.c_str());
+    return 1;
+  }
+
+  // Publish the port atomically: readers either see nothing or a
+  // complete line, never a torn write.
+  const std::string tmp = port_file + ".tmp";
+  if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+    std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+    std::fclose(f);
+  } else {
+    return 1;
+  }
+  if (std::rename(tmp.c_str(), port_file.c_str()) != 0) return 1;
+
+  std::signal(SIGTERM, on_term);
+  std::signal(SIGINT, on_term);
+  while (g_stop == 0 && server.running()) ::pause();
+  server.stop();
+  return 0;
+}
+
+#else  // no sockets on this platform
+
+int main() { return 0; }
+
+#endif
