@@ -30,7 +30,7 @@ std::vector<bool> register_mask_for(const ml::Dataset& data) {
 
 }  // namespace
 
-Result<DeploymentPackage> DevelopmentLoop::run(
+Result<TrainArtifacts> DevelopmentLoop::train(
     const ml::Dataset& packet_dataset) const {
   if (packet_dataset.n_classes() != 2)
     return Error::make("shape",
@@ -40,49 +40,63 @@ Result<DeploymentPackage> DevelopmentLoop::run(
   if (counts[0] == 0 || counts[1] == 0)
     return Error::make("data", "dataset lacks one of the two classes");
 
-  DeploymentPackage package;
-  package.task = config_.task;
   const std::int64_t t0 = now_us();
-
   // Quantize first so the trained thresholds live on the dataplane
   // grid: compiled verdicts are then exactly the student's.
-  package.quantizer = dataplane::Quantizer::fit(packet_dataset);
-  const auto quantized = package.quantizer.quantize_dataset(packet_dataset);
+  auto quantizer = dataplane::Quantizer::fit(packet_dataset);
+  const auto quantized = quantizer.quantize_dataset(packet_dataset);
   Rng rng(config_.seed);
-  auto [train, test] = quantized.stratified_split(config_.test_fraction,
-                                                  rng);
+  auto [train_split, test_split] =
+      quantized.stratified_split(config_.test_fraction, rng);
 
   // Step (i): black-box teacher (family per config).
-  std::unique_ptr<ml::Classifier> teacher;
+  std::shared_ptr<ml::Classifier> teacher;
   std::size_t teacher_nodes = 0;
   if (config_.teacher_kind == TeacherKind::kGradientBoosted) {
-    auto gbt = std::make_unique<ml::GradientBoosted>(
+    auto gbt = std::make_shared<ml::GradientBoosted>(
         config_.boosted_teacher);
-    gbt->fit(train);
+    gbt->fit(train_split);
     teacher_nodes = gbt->total_nodes();
     teacher = std::move(gbt);
   } else {
-    auto forest = std::make_unique<ml::RandomForest>(config_.teacher);
-    forest->fit(train);
+    auto forest = std::make_shared<ml::RandomForest>(config_.teacher);
+    forest->fit(train_split);
     teacher_nodes = forest->total_nodes();
     teacher = std::move(forest);
   }
-  const std::int64_t t1 = now_us();
-  package.timings.train_us = t1 - t0;
+  return TrainArtifacts{std::move(quantizer), std::move(train_split),
+                        std::move(test_split), std::move(teacher),
+                        teacher_nodes, now_us() - t0};
+}
 
+Result<ExtractArtifacts> DevelopmentLoop::extract(
+    const TrainArtifacts& trained) const {
+  if (trained.teacher == nullptr)
+    return Error::make("internal", "extract called without a teacher");
+  const std::int64_t t0 = now_us();
   // Step (ii): XAI extraction.
-  const auto extraction =
-      xai::ModelExtractor(config_.extraction).extract(*teacher, train);
-  package.student = extraction.student;
-  const std::int64_t t2 = now_us();
-  package.timings.extract_us = t2 - t1;
+  auto extraction = xai::ModelExtractor(config_.extraction)
+                        .extract(*trained.teacher, trained.train);
+  return ExtractArtifacts{std::move(extraction.student), now_us() - t0};
+}
+
+Result<DeploymentPackage> DevelopmentLoop::compile(
+    const TrainArtifacts& trained,
+    const ExtractArtifacts& extracted) const {
+  const std::int64_t t0 = now_us();
+  DeploymentPackage package;
+  package.task = config_.task;
+  package.quantizer = trained.quantizer;
+  package.student = extracted.student;
+  package.timings.train_us = trained.train_us;
+  package.timings.extract_us = extracted.extract_us;
 
   // Step (iii): compile for the target, honoring the budget.
-  const auto mask = register_mask_for(packet_dataset);
+  const auto mask = register_mask_for(trained.train);
   // The student was trained on quantized values, so programs run with
   // the identity mapping over the quantized grid.
   std::vector<std::pair<double, double>> grid(
-      packet_dataset.n_features(),
+      trained.train.n_features(),
       {0.0, static_cast<double>(dataplane::Quantizer::kMaxQ) + 1.0});
   const auto grid_quantizer =
       dataplane::Quantizer::from_ranges(std::move(grid));
@@ -99,7 +113,7 @@ Result<DeploymentPackage> DevelopmentLoop::run(
                                        resources.to_string());
     package.strategy = "tree_walk";
     package.p4_source = dataplane::generate_p4(
-        program.value(), packet_dataset.feature_names(), policy);
+        program.value(), trained.train.feature_names(), policy);
     return resources;
   };
   auto try_tcam = [&]() -> Result<dataplane::ResourceReport> {
@@ -116,7 +130,7 @@ Result<DeploymentPackage> DevelopmentLoop::run(
                                        resources.to_string());
     package.strategy = "rule_tcam";
     package.p4_source = dataplane::generate_p4(
-        program.value(), packet_dataset.feature_names(), policy);
+        program.value(), trained.train.feature_names(), policy);
     return resources;
   };
 
@@ -137,18 +151,28 @@ Result<DeploymentPackage> DevelopmentLoop::run(
   }
   if (!compiled.ok()) return compiled.error();
   package.resources = compiled.value();
-  const std::int64_t t3 = now_us();
-  package.timings.compile_us = t3 - t2;
+  package.timings.compile_us = now_us() - t0;
 
   // Step (iv): operator-facing evidence.
-  package.trust = xai::make_trust_report(config_.task.name, *teacher,
-                                         teacher_nodes, package.student,
-                                         test);
+  package.trust = xai::make_trust_report(
+      config_.task.name, *trained.teacher, trained.teacher_nodes,
+      package.student, trained.test);
   package.teacher_holdout_accuracy = package.trust.teacher_accuracy;
   package.student_holdout_accuracy = package.trust.student_accuracy;
   package.holdout_fidelity = package.trust.fidelity;
-  package.timings.total_us = now_us() - t0;
+  package.timings.total_us = package.timings.train_us +
+                             package.timings.extract_us +
+                             package.timings.compile_us;
   return package;
+}
+
+Result<DeploymentPackage> DevelopmentLoop::run(
+    const ml::Dataset& packet_dataset) const {
+  auto trained = train(packet_dataset);
+  if (!trained.ok()) return trained.error();
+  auto extracted = extract(trained.value());
+  if (!extracted.ok()) return extracted.error();
+  return compile(trained.value(), extracted.value());
 }
 
 namespace {

@@ -1,0 +1,116 @@
+#include "campuslab/control/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "campuslab/obs/registry.h"
+
+namespace campuslab::control {
+
+DriftDetector::DriftDetector(DriftConfig config) : config_(config) {
+  if (config_.bins == 0) config_.bins = 1;
+  if (config_.window == 0) config_.window = 1;
+  config_.clear_threshold =
+      std::min(config_.clear_threshold, config_.trigger_threshold);
+  counts_.assign(config_.bins, 0);
+  auto& reg = obs::Registry::global();
+  obs_state_ = &reg.gauge("control.drift_state");
+  obs_score_ = &reg.gauge("control.drift_score_ppm");
+  obs_rate_ = &reg.gauge("control.drift_rate_delta_ppm");
+  obs_windows_ = &reg.counter("control.drift_windows_total");
+  obs_triggers_ = &reg.counter("control.drift_triggers_total");
+}
+
+void DriftDetector::observe(double score, bool positive) noexcept {
+  const double clamped = std::clamp(score, 0.0, 1.0);
+  auto bin = static_cast<std::size_t>(clamped *
+                                      static_cast<double>(config_.bins));
+  if (bin >= config_.bins) bin = config_.bins - 1;  // score == 1.0
+  ++counts_[bin];
+  if (positive) ++positives_;
+  if (++samples_ >= config_.window) evaluate_window();
+}
+
+void DriftDetector::evaluate_window() noexcept {
+  // A window too small to judge is discarded, not scored: a quiet
+  // interval (or an empty one) is no evidence either way.
+  if (samples_ < std::max<std::size_t>(config_.min_samples, 1)) {
+    reset_window();
+    return;
+  }
+  const double n = static_cast<double>(samples_);
+  const double positive_rate = static_cast<double>(positives_) / n;
+
+  if (reference_.empty()) {
+    // First judgeable window after start/rebase: becomes the baseline.
+    reference_.resize(config_.bins);
+    for (std::size_t b = 0; b < config_.bins; ++b)
+      reference_[b] = static_cast<double>(counts_[b]) / n;
+    reference_positive_rate_ = positive_rate;
+    reset_window();
+    return;
+  }
+
+  // Total-variation distance between window and reference histograms.
+  double tv = 0.0;
+  for (std::size_t b = 0; b < config_.bins; ++b)
+    tv += std::abs(static_cast<double>(counts_[b]) / n - reference_[b]);
+  tv *= 0.5;
+  const double rate_delta =
+      std::abs(positive_rate - reference_positive_rate_);
+  const double drift_score = std::max(tv, rate_delta);
+
+  ++windows_judged_;
+  obs_windows_->increment();
+  last_score_ppm_.store(static_cast<std::int64_t>(tv * 1e6),
+                        std::memory_order_relaxed);
+  last_rate_ppm_.store(static_cast<std::int64_t>(rate_delta * 1e6),
+                       std::memory_order_relaxed);
+  obs_score_->set(static_cast<std::int64_t>(tv * 1e6));
+  obs_rate_->set(static_cast<std::int64_t>(rate_delta * 1e6));
+
+  if (drift_score >= config_.trigger_threshold) {
+    if (++hot_streak_ >= config_.trigger_windows)
+      set_state(DriftState::kDrifted);
+  } else if (drift_score <= config_.clear_threshold) {
+    // Full hysteresis: only a clearly calm window resets the streak
+    // and disarms; a window in the dead band between the thresholds
+    // changes nothing, so oscillation at the trigger cannot flap.
+    hot_streak_ = 0;
+    set_state(DriftState::kCalm);
+  }
+  reset_window();
+}
+
+void DriftDetector::rebase() noexcept {
+  reference_.clear();
+  reference_positive_rate_ = 0.0;
+  hot_streak_ = 0;
+  reset_window();
+  set_state(DriftState::kCalm);
+  last_score_ppm_.store(0, std::memory_order_relaxed);
+  last_rate_ppm_.store(0, std::memory_order_relaxed);
+  obs_score_->set(0);
+  obs_rate_->set(0);
+}
+
+void DriftDetector::reset_window() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  positives_ = 0;
+  samples_ = 0;
+}
+
+void DriftDetector::set_state(DriftState next) noexcept {
+  const auto cur =
+      static_cast<DriftState>(state_.load(std::memory_order_relaxed));
+  if (cur == next) return;
+  state_.store(static_cast<int>(next), std::memory_order_release);
+  ++transitions_;
+  obs_state_->set(static_cast<std::int64_t>(next));
+  if (next == DriftState::kDrifted) {
+    ++triggers_;
+    obs_triggers_->increment();
+  }
+}
+
+}  // namespace campuslab::control

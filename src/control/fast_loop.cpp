@@ -95,7 +95,40 @@ bool FastLoop::inspect(const packet::Packet& pkt,
   latency_ns_.add(static_cast<double>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
           .count()));
+  if (verdict_hook_) verdict_hook_(verdict.cls, verdict.confidence, drop);
   return drop;
+}
+
+void ModelHandle::install(sim::CampusNetwork& network) {
+  network.set_ingress_filter([this](const packet::Packet& pkt) {
+    auto snap = acquire();
+    return snap && snap->loop ? snap->loop->inspect(pkt) : false;
+  });
+}
+
+std::shared_ptr<ModelHandle::Deployed> ModelHandle::swap(
+    std::uint32_t version, std::unique_ptr<FastLoop> loop) {
+  auto next = std::make_shared<Deployed>();
+  next->version = version;
+  next->loop = std::move(loop);
+  return publish(std::move(next));
+}
+
+std::shared_ptr<ModelHandle::Deployed> ModelHandle::exchange(
+    std::shared_ptr<Deployed> deployed) {
+  return publish(std::move(deployed));
+}
+
+std::shared_ptr<ModelHandle::Deployed> ModelHandle::publish(
+    std::shared_ptr<Deployed> next) {
+  std::lock_guard<std::mutex> lock(writers_);
+  auto prev = std::move(live_);
+  live_ = std::move(next);
+  // A reader may still hold a borrowed snapshot of the displaced
+  // version; park its owner for the handle's lifetime.
+  if (prev) retired_.push_back(prev);
+  current_.store(live_.get(), std::memory_order_release);
+  return prev;
 }
 
 }  // namespace campuslab::control

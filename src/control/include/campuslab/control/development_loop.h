@@ -94,6 +94,23 @@ struct DeploymentPackage {
   }
 };
 
+/// Artifacts of step (i) — quantizer, split, fitted teacher — kept so
+/// the later stages can run (and be retried) without repeating it.
+struct TrainArtifacts {
+  dataplane::Quantizer quantizer;
+  ml::Dataset train;
+  ml::Dataset test;
+  std::shared_ptr<ml::Classifier> teacher;
+  std::size_t teacher_nodes = 0;
+  std::int64_t train_us = 0;
+};
+
+/// Artifacts of step (ii).
+struct ExtractArtifacts {
+  ml::DecisionTree student;
+  std::int64_t extract_us = 0;
+};
+
 class DevelopmentLoop {
  public:
   explicit DevelopmentLoop(DevelopmentConfig config)
@@ -104,6 +121,17 @@ class DevelopmentLoop {
   /// Fails when the dataset lacks either class or no strategy fits the
   /// budget.
   Result<DeploymentPackage> run(const ml::Dataset& packet_dataset) const;
+
+  /// Stage forms of run(): quantize + split + teacher (step i), student
+  /// extraction (step ii), compile + trust report (steps iii–iv).
+  /// run() is exactly their composition; a supervising loop calls them
+  /// separately so each stage carries its own retry and fault policy.
+  Result<TrainArtifacts> train(const ml::Dataset& packet_dataset) const;
+  Result<ExtractArtifacts> extract(const TrainArtifacts& trained) const;
+  Result<DeploymentPackage> compile(const TrainArtifacts& trained,
+                                    const ExtractArtifacts& extracted) const;
+
+  const DevelopmentConfig& config() const noexcept { return config_; }
 
  private:
   DevelopmentConfig config_;

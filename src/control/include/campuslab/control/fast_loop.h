@@ -8,7 +8,11 @@
 // for road-test reports.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "campuslab/control/development_loop.h"
 #include "campuslab/resilience/health.h"
@@ -73,6 +77,14 @@ class FastLoop {
     degradation_ = controller;
   }
 
+  /// Optional per-verdict observer (class, confidence, dropped), called
+  /// at the end of every inspect(). The automation loop feeds its drift
+  /// detector from here so the *enforced* stream is the one watched —
+  /// no second model pass, no mirror divergence.
+  using VerdictHook = std::function<void(int cls, double confidence,
+                                         bool dropped)>;
+  void set_verdict_hook(VerdictHook hook) { verdict_hook_ = std::move(hook); }
+
   const MitigationStats& stats() const noexcept { return stats_; }
   /// Wall-clock nanoseconds per inspected packet.
   const RunningStats& latency_ns() const noexcept { return latency_ns_; }
@@ -90,9 +102,70 @@ class FastLoop {
   MitigationStats stats_;
   RunningStats latency_ns_;
   resilience::DegradationController* degradation_ = nullptr;
+  VerdictHook verdict_hook_;
   // Token bucket for kRateLimit.
   double tokens_ = 0.0;
   Timestamp last_refill_{};
+};
+
+/// RCU-style versioned handle to the live FastLoop. The packet path
+/// takes one acquire load of a raw pointer per packet — no refcount,
+/// no mutex, no wait on the writer (libstdc++ 12's
+/// atomic<shared_ptr<T>> is formally racy: its internal lock is
+/// released with memory_order_relaxed, which TSAN rightly flags, so
+/// the handle does not use it). The automation loop publishes a new
+/// model with swap() under a writer-side mutex; displaced versions are
+/// parked in the handle until it is destroyed, so a reader still
+/// executing on the old model stays valid — promotions are rare and a
+/// deployed tree is a few KB, so the parked set stays tiny. The
+/// handle, not a FastLoop, owns the network's ingress filter, so a swap
+/// never leaves the dataplane filterless — and an *empty* handle passes
+/// traffic rather than blocking it (the loop must degrade to "serve the
+/// last good model", and before any model exists the baseline is
+/// "forward everything").
+class ModelHandle {
+ public:
+  struct Deployed {
+    std::uint32_t version = 0;
+    std::unique_ptr<FastLoop> loop;
+  };
+
+  /// Install as the network's ingress filter. The handle must outlive
+  /// the network's use of the filter (snapshots borrow from the
+  /// handle's parked set).
+  void install(sim::CampusNetwork& network);
+
+  /// Publish `loop` as version `version`; returns the previous
+  /// deployment (possibly null) so the caller can keep it for rollback.
+  std::shared_ptr<Deployed> swap(std::uint32_t version,
+                                 std::unique_ptr<FastLoop> loop);
+
+  /// Restore a previously acquired deployment verbatim (rollback after
+  /// a failed promotion persist). Returns the displaced one.
+  std::shared_ptr<Deployed> exchange(std::shared_ptr<Deployed> deployed);
+
+  /// Snapshot the current deployment (null when none yet). The
+  /// returned pointer borrows from the handle (aliasing, non-owning);
+  /// it stays valid for the handle's lifetime.
+  std::shared_ptr<Deployed> acquire() const noexcept {
+    return {std::shared_ptr<Deployed>{},
+            current_.load(std::memory_order_acquire)};
+  }
+  /// 0 when no model is deployed.
+  std::uint32_t version() const noexcept {
+    const auto* snap = current_.load(std::memory_order_acquire);
+    return snap ? snap->version : 0;
+  }
+
+ private:
+  std::shared_ptr<Deployed> publish(std::shared_ptr<Deployed> next);
+
+  std::atomic<Deployed*> current_{nullptr};
+  std::mutex writers_;
+  /// The live owner plus every displaced version: a reader's borrowed
+  /// snapshot must outlive the swap that displaced it.
+  std::shared_ptr<Deployed> live_;
+  std::vector<std::shared_ptr<Deployed>> retired_;
 };
 
 }  // namespace campuslab::control

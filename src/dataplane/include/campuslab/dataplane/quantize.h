@@ -25,8 +25,19 @@ class Quantizer {
   /// Explicit ranges (lo == hi marks a constant feature -> q = 0).
   static Quantizer from_ranges(
       std::vector<std::pair<double, double>> ranges);
+  /// Exact reconstruction from persisted per-feature (lo, step) pairs —
+  /// the model-registry round trip must be bit-identical, which a
+  /// lo/hi re-derivation of step cannot guarantee in floating point.
+  static Quantizer from_levels(std::vector<double> lo,
+                               std::vector<double> step);
 
   std::size_t n_features() const noexcept { return lo_.size(); }
+
+  /// Persisted-form accessors (see from_levels).
+  double lo(std::size_t feature) const noexcept { return lo_[feature]; }
+  double step(std::size_t feature) const noexcept {
+    return step_[feature];
+  }
 
   std::uint32_t quantize(std::size_t feature, double v) const noexcept;
   std::vector<std::uint32_t> quantize_row(

@@ -9,6 +9,7 @@
 // timing model.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -36,6 +37,27 @@ struct ResourceReport {
            sram_bits <= budget.sram_bits_per_stage *
                             static_cast<std::size_t>(budget.stages) &&
            register_arrays_used <= budget.register_arrays;
+  }
+
+  /// Worst-dimension fraction of the budget consumed (1.0 = exactly at
+  /// budget). The automation loop's canary gate rolls a candidate back
+  /// when this exceeds its headroom policy, not merely when fits()
+  /// flips false.
+  double utilization(const ResourceBudget& budget) const noexcept {
+    const auto frac = [](double used, double limit) {
+      return limit <= 0.0 ? (used > 0.0 ? 1e9 : 0.0) : used / limit;
+    };
+    const auto stages = static_cast<double>(budget.stages);
+    double u = frac(static_cast<double>(stages_used), stages);
+    u = std::max(
+        u, frac(static_cast<double>(tcam_entries),
+                static_cast<double>(budget.tcam_entries_per_stage) * stages));
+    u = std::max(
+        u, frac(static_cast<double>(sram_bits),
+                static_cast<double>(budget.sram_bits_per_stage) * stages));
+    u = std::max(u, frac(static_cast<double>(register_arrays_used),
+                         static_cast<double>(budget.register_arrays)));
+    return u;
   }
 
   std::string to_string() const {

@@ -29,6 +29,15 @@ Quantizer Quantizer::from_ranges(
   return q;
 }
 
+Quantizer Quantizer::from_levels(std::vector<double> lo,
+                                 std::vector<double> step) {
+  Quantizer q;
+  q.lo_ = std::move(lo);
+  q.step_ = std::move(step);
+  q.step_.resize(q.lo_.size(), 0.0);
+  return q;
+}
+
 std::uint32_t Quantizer::quantize(std::size_t feature,
                                   double v) const noexcept {
   if (step_[feature] <= 0.0) return 0;

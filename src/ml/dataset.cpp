@@ -14,6 +14,24 @@ void Dataset::add(std::span<const double> x, int y) {
   y_.push_back(y);
 }
 
+void Dataset::append(const Dataset& other) {
+  assert(other.n_features() == n_features());
+  assert(other.n_classes() == n_classes());
+  x_.insert(x_.end(), other.x_.begin(), other.x_.end());
+  y_.insert(y_.end(), other.y_.begin(), other.y_.end());
+}
+
+Dataset Dataset::sample(std::size_t n, Rng& rng) const {
+  std::vector<std::size_t> indices(n_rows());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  // Partial Fisher-Yates: the first n slots become the sample.
+  const auto take = std::min(n, indices.size());
+  for (std::size_t i = 0; i < take; ++i)
+    std::swap(indices[i], indices[i + rng.below(indices.size() - i)]);
+  indices.resize(take);
+  return subset(indices);
+}
+
 std::vector<std::size_t> Dataset::class_counts() const {
   std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes()), 0);
   for (const auto y : y_) ++counts[static_cast<std::size_t>(y)];

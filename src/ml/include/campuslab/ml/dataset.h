@@ -28,6 +28,14 @@ class Dataset {
   /// 0 <= y < n_classes.
   void add(std::span<const double> x, int y);
 
+  /// Append every row of `other` (the continual-learning reservoir
+  /// merge). Precondition: identical feature count and class count.
+  void append(const Dataset& other);
+
+  /// Uniform random sample of `n` rows without replacement (all rows
+  /// when n >= n_rows). Deterministic in `rng`.
+  Dataset sample(std::size_t n, Rng& rng) const;
+
   std::size_t n_rows() const noexcept { return y_.size(); }
   std::size_t n_features() const noexcept { return feature_names_.size(); }
   int n_classes() const noexcept {

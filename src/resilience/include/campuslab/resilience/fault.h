@@ -11,8 +11,10 @@
 // Injection points are named call sites threaded through the pipeline
 // (capture.sink_dispatch, capture.worker, flow.update, dataset.append,
 // store.ingest, archive.write, sim.emit, store.shard_rpc — every
-// cluster-to-shard message — and the socket-level rpc.connect /
-// rpc.send / rpc.recv inside RemoteShard). Each is a single relaxed
+// cluster-to-shard message — the socket-level rpc.connect / rpc.send /
+// rpc.recv inside RemoteShard, and the automation loop's five stage
+// sites control.train / control.extract / control.compile /
+// control.swap / control.registry). Each is a single relaxed
 // atomic load when no injector is installed — cheap enough to live on
 // the per-packet path permanently, which is the point: the shipped
 // binary and the chaos binary are the same binary.

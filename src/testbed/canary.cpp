@@ -53,12 +53,42 @@ void CanaryDeployment::observe(const packet::Packet& pkt,
   }
 }
 
+Status CanaryDeployment::evaluate(const Gate& gate) const {
+  if (stats_.observed < gate.min_observed)
+    return Error::make("canary_underobserved",
+                       "canary observed " + std::to_string(stats_.observed) +
+                           " packets, need " +
+                           std::to_string(gate.min_observed));
+  if (stats_.would_drop_precision() < gate.min_precision)
+    return Error::make(
+        "canary_precision",
+        "would-drop precision " +
+            std::to_string(stats_.would_drop_precision()) + " below floor " +
+            std::to_string(gate.min_precision));
+  if (stats_.would_block_rate() < gate.min_block_rate)
+    return Error::make("canary_block_rate",
+                       "attack block rate " +
+                           std::to_string(stats_.would_block_rate()) +
+                           " below floor " +
+                           std::to_string(gate.min_block_rate));
+  if (stats_.would_benign_loss() > gate.max_benign_loss)
+    return Error::make("canary_benign_loss",
+                       "benign would-drop rate " +
+                           std::to_string(stats_.would_benign_loss()) +
+                           " above ceiling " +
+                           std::to_string(gate.max_benign_loss));
+  return Status::success();
+}
+
 bool CanaryDeployment::ready_to_promote(
     double min_precision, double min_block_rate,
     std::uint64_t min_observed) const noexcept {
-  return stats_.observed >= min_observed &&
-         stats_.would_drop_precision() >= min_precision &&
-         stats_.would_block_rate() >= min_block_rate;
+  Gate gate;
+  gate.min_precision = min_precision;
+  gate.min_block_rate = min_block_rate;
+  gate.min_observed = min_observed;
+  gate.max_benign_loss = 1.0;  // legacy gate had no benign-loss ceiling
+  return evaluate(gate).ok();
 }
 
 }  // namespace campuslab::testbed

@@ -28,7 +28,7 @@ Status ContinualLoop::install(control::DeploymentPackage package,
   history_.push_back(ModelVersion{next_version_++,
                                   testbed_->network().events().now(),
                                   candidate_acc, incumbent_acc, true,
-                                  note});
+                                  note, {}});
   return Status::success();
 }
 
@@ -37,41 +37,53 @@ void ContinualLoop::retrain_tick() {
   // the loop.
   testbed_->network().events().schedule_in(config_.retrain_interval,
                                            [this] { retrain_tick(); });
+  // The history entry carries the window's outcome; a failed window
+  // must not end the loop either.
+  (void)retrain_once();
+}
 
+Status ContinualLoop::retrain_once() {
   const auto window = testbed_->harvest_dataset();
   const auto now = testbed_->network().events().now();
-  auto skip = [&](std::string why) {
+  auto skip = [&](std::string code, std::string why) -> Status {
     history_.push_back(ModelVersion{next_version_++, now, 0.0, 0.0, false,
-                                    "skipped: " + std::move(why)});
+                                    "skipped: " + why, code});
+    return Error::make(std::move(code), std::move(why));
   };
-  if (window.n_rows() < config_.min_window_rows) {
-    skip("window too small (" + std::to_string(window.n_rows()) +
-         " rows)");
-    return;
-  }
+  if (window.n_rows() < config_.min_window_rows)
+    return skip("window_too_small",
+                "window too small (" + std::to_string(window.n_rows()) +
+                    " rows)");
   const auto counts = window.class_counts();
-  if (counts[0] == 0 || counts[1] == 0) {
-    skip("single-class window");
-    return;
-  }
+  if (counts[0] == 0 || counts[1] == 0)
+    return skip("window_single_class", "single-class window");
 
   control::DevelopmentLoop dev(config_.development);
   auto candidate = dev.run(window);
-  if (!candidate.ok()) {
-    skip(candidate.error().message);
-    return;
-  }
+  if (!candidate.ok())
+    return skip(candidate.error().code, candidate.error().message);
   const double candidate_acc =
       candidate.value().balanced_accuracy_on(window);
   const double incumbent_acc = incumbent_->balanced_accuracy_on(window);
   if (candidate_acc >= incumbent_acc + config_.promote_margin) {
-    (void)install(std::move(candidate).value(), "promoted", candidate_acc,
-                  incumbent_acc);
+    if (auto installed =
+            install(std::move(candidate).value(), "promoted",
+                    candidate_acc, incumbent_acc);
+        !installed.ok()) {
+      // Deployment failed: keep serving the incumbent, record why.
+      history_.push_back(ModelVersion{next_version_++, now, candidate_acc,
+                                      incumbent_acc, false,
+                                      "deploy failed: " +
+                                          installed.error().message,
+                                      installed.error().code});
+      return installed;
+    }
   } else {
     history_.push_back(ModelVersion{next_version_++, now, candidate_acc,
                                     incumbent_acc, false,
-                                    "kept incumbent"});
+                                    "kept incumbent", {}});
   }
+  return Status::success();
 }
 
 int ContinualLoop::promotions() const noexcept {

@@ -65,6 +65,26 @@ class CanaryDeployment {
   bool ready_to_promote(double min_precision, double min_block_rate,
                         std::uint64_t min_observed = 1000) const noexcept;
 
+  /// evaluate() against this gate returns ok when the canary has seen
+  /// enough traffic AND clears every quality floor; otherwise the
+  /// Status carries a stable, machine-readable code the automation
+  /// loop branches on:
+  ///
+  ///   canary_underobserved — not enough mirrored packets yet
+  ///                          (transient: extend the canary window);
+  ///   canary_precision     — would-drop precision below floor;
+  ///   canary_block_rate    — attack block rate below floor;
+  ///   canary_benign_loss   — benign would-drop rate above ceiling.
+  ///
+  /// The quality codes are permanent for this candidate: roll back.
+  struct Gate {
+    double min_precision = 0.9;
+    double min_block_rate = 0.5;
+    double max_benign_loss = 0.05;
+    std::uint64_t min_observed = 1000;
+  };
+  Status evaluate(const Gate& gate) const;
+
  private:
   CanaryDeployment(control::AutomationTask task,
                    std::unique_ptr<dataplane::SoftwareSwitch> sw)

@@ -44,6 +44,12 @@ struct ModelVersion {
   double incumbent_window_accuracy = 0.0;
   bool promoted = false;
   std::string note;  // "initial", "promoted", "kept incumbent", "skipped: ..."
+  /// Stable machine-readable code for why this window produced no
+  /// promotion; empty on success ("initial"/"promoted"/"kept
+  /// incumbent"). Transient window codes (window_too_small,
+  /// window_single_class) mean "try again next window"; anything else
+  /// is the development loop's or deployment's own stable code.
+  std::string error_code;
 };
 
 class ContinualLoop {
@@ -70,6 +76,14 @@ class ContinualLoop {
     return loop_.get();
   }
   int promotions() const noexcept;
+
+  /// Run one retrain window now (the tick calls this; tests may too).
+  /// A failed window returns its stable code — window_too_small /
+  /// window_single_class for transient skips, the development loop's or
+  /// deployment's own code otherwise — and always appends a history
+  /// entry carrying the same code. Keeping the incumbent is ok(): the
+  /// loop declined, nothing failed.
+  Status retrain_once();
 
  private:
   void retrain_tick();

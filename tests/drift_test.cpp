@@ -1,0 +1,151 @@
+// DriftDetector edge cases: empty windows, constant and single-class
+// streams, min-sample guards, and the hysteresis no-flap property under
+// a drift score oscillating at the trigger threshold.
+#include "campuslab/control/drift.h"
+
+#include <gtest/gtest.h>
+
+namespace campuslab::control {
+namespace {
+
+DriftConfig small_config() {
+  DriftConfig config;
+  config.window = 100;
+  config.bins = 2;
+  config.min_samples = 1;
+  config.trigger_threshold = 0.25;
+  config.clear_threshold = 0.12;
+  config.trigger_windows = 2;
+  return config;
+}
+
+/// Feed exactly one full window where `high_fraction` of samples score
+/// 0.9 as positives and the rest score 0.1 as negatives. With bins=2
+/// the TV distance against a 50/50 reference is |high_fraction - 0.5|.
+void feed_window(DriftDetector& det, double high_fraction,
+                 std::size_t window = 100) {
+  const auto high = static_cast<std::size_t>(
+      high_fraction * static_cast<double>(window) + 0.5);
+  for (std::size_t i = 0; i < window; ++i) {
+    const bool hi = i < high;
+    det.observe(hi ? 0.9 : 0.1, hi);
+  }
+}
+
+TEST(DriftDetectorTest, EmptyWindowIsNeverJudged) {
+  DriftDetector det(small_config());
+  det.evaluate_window();  // zero samples
+  det.evaluate_window();
+  EXPECT_EQ(det.windows_judged(), 0u);
+  EXPECT_FALSE(det.has_reference());
+  EXPECT_FALSE(det.triggered());
+  EXPECT_EQ(det.transitions(), 0u);
+}
+
+TEST(DriftDetectorTest, WindowBelowMinSamplesIsDiscarded) {
+  auto config = small_config();
+  config.min_samples = 50;
+  DriftDetector det(config);
+  for (int i = 0; i < 10; ++i) det.observe(0.9, true);
+  det.evaluate_window();  // 10 < min_samples: discarded, not a reference
+  EXPECT_FALSE(det.has_reference());
+  EXPECT_EQ(det.windows_judged(), 0u);
+  feed_window(det, 0.5);  // a full window does become the reference
+  EXPECT_TRUE(det.has_reference());
+  EXPECT_EQ(det.windows_judged(), 0u);  // the reference itself is not judged
+}
+
+TEST(DriftDetectorTest, WindowSmallerThanMinSamplesNeverJudges) {
+  auto config = small_config();
+  config.window = 64;
+  config.min_samples = 256;  // unreachable: every window is quiet
+  DriftDetector det(config);
+  for (int i = 0; i < 10'000; ++i) det.observe(0.5, i % 2 == 0);
+  EXPECT_FALSE(det.has_reference());
+  EXPECT_EQ(det.windows_judged(), 0u);
+  EXPECT_FALSE(det.triggered());
+}
+
+TEST(DriftDetectorTest, ConstantStreamStaysCalm) {
+  DriftDetector det(small_config());
+  for (int w = 0; w < 50; ++w) feed_window(det, 0.3);
+  EXPECT_TRUE(det.has_reference());
+  EXPECT_EQ(det.windows_judged(), 49u);
+  EXPECT_FALSE(det.triggered());
+  EXPECT_EQ(det.transitions(), 0u);
+  EXPECT_EQ(det.triggers(), 0u);
+  EXPECT_NEAR(det.last_score_distance(), 0.0, 1e-9);
+  EXPECT_NEAR(det.last_rate_delta(), 0.0, 1e-9);
+}
+
+TEST(DriftDetectorTest, SingleClassStreamIsCalmUntilTheClassFlips) {
+  DriftDetector det(small_config());
+  // All-benign stream: reference and every later window identical.
+  for (int w = 0; w < 10; ++w) feed_window(det, 0.0);
+  EXPECT_FALSE(det.triggered());
+  EXPECT_NEAR(det.last_rate_delta(), 0.0, 1e-9);
+  // The stream flips to all-attack: rate delta 1.0, arms after
+  // trigger_windows consecutive drifted windows.
+  feed_window(det, 1.0);
+  EXPECT_FALSE(det.triggered()) << "one drifted window must not arm";
+  feed_window(det, 1.0);
+  EXPECT_TRUE(det.triggered());
+  EXPECT_EQ(det.triggers(), 1u);
+  EXPECT_NEAR(det.last_rate_delta(), 1.0, 1e-9);
+  EXPECT_NEAR(det.last_score_distance(), 1.0, 1e-9);
+}
+
+TEST(DriftDetectorTest, HysteresisDoesNotFlapAtTheThreshold) {
+  DriftDetector det(small_config());
+  feed_window(det, 0.5);  // reference: 50/50
+  // Oscillate between TV = 0.26 (over the 0.25 trigger) and TV = 0.20
+  // (in the dead band between clear=0.12 and trigger). The dead band
+  // holds both the streak and the state, so the oscillation arms the
+  // detector exactly once and can never disarm it.
+  for (int w = 0; w < 40; ++w) feed_window(det, w % 2 == 0 ? 0.76 : 0.70);
+  EXPECT_TRUE(det.triggered());
+  EXPECT_EQ(det.triggers(), 1u) << "oscillation at the threshold re-armed";
+  EXPECT_EQ(det.transitions(), 1u) << "state flapped";
+  // Only a clearly calm window disarms.
+  feed_window(det, 0.5);
+  EXPECT_FALSE(det.triggered());
+  EXPECT_EQ(det.transitions(), 2u);
+}
+
+TEST(DriftDetectorTest, DeadBandWindowDoesNotResetTheStreak) {
+  DriftDetector det(small_config());
+  feed_window(det, 0.5);   // reference
+  feed_window(det, 0.76);  // streak 1
+  feed_window(det, 0.70);  // dead band: streak held, still calm
+  EXPECT_FALSE(det.triggered());
+  feed_window(det, 0.76);  // streak 2 -> armed
+  EXPECT_TRUE(det.triggered());
+}
+
+TEST(DriftDetectorTest, RebaseDropsReferenceAndDisarms) {
+  DriftDetector det(small_config());
+  feed_window(det, 0.1);
+  feed_window(det, 0.9);
+  feed_window(det, 0.9);
+  ASSERT_TRUE(det.triggered());
+  det.rebase();
+  EXPECT_FALSE(det.triggered());
+  EXPECT_FALSE(det.has_reference());
+  EXPECT_NEAR(det.last_score_distance(), 0.0, 1e-9);
+  // The drifted-to distribution becomes the new normal.
+  feed_window(det, 0.9);  // new reference
+  feed_window(det, 0.9);
+  EXPECT_FALSE(det.triggered());
+}
+
+TEST(DriftDetectorTest, ScoresOutsideUnitIntervalAreClamped) {
+  DriftDetector det(small_config());
+  for (int i = 0; i < 100; ++i) det.observe(i % 2 == 0 ? -3.0 : 4.0, false);
+  for (int i = 0; i < 100; ++i) det.observe(i % 2 == 0 ? 0.0 : 1.0, false);
+  // -3 clamps into bin 0 and 4 into the top bin: the two streams build
+  // identical histograms, so the second window scores zero drift.
+  EXPECT_NEAR(det.last_score_distance(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace campuslab::control

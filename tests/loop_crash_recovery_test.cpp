@@ -1,0 +1,140 @@
+// Crash-recovery chaos for the automation loop: a real child process
+// (automation_loop_proc) runs the closed loop against a durable
+// registry and SIGKILLs ITSELF at a seed-chosen stage of a retrain
+// cycle — mid-train, mid-extract, mid-compile, mid-canary, or
+// mid-swap. No destructors, no flush: whatever the registry's
+// write-then-rename discipline left on disk is all a restart gets.
+//
+// The contract under test (ISSUE acceptance):
+//   * the on-disk registry still decodes after the kill;
+//   * the audit log shows no phantom promotion — every promoted
+//     version exists in the registry, and the active version is one of
+//     them;
+//   * a restarted process recovers to the last PROMOTED version and
+//     serves with it.
+//
+// CI drives this across the CAMPUSLAB_FAULT_SEED matrix; the seed
+// picks the stage the process dies in.
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "campuslab/control/model_registry.h"
+#include "campuslab/resilience/fault.h"
+
+namespace campuslab::control {
+namespace {
+
+namespace fs = std::filesystem;
+
+int spawn_and_wait(const std::string& registry_dir,
+                   const std::string& status_file, const char* mode,
+                   std::uint64_t seed, int* exit_status) {
+  const std::string seed_s = std::to_string(seed);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl(CAMPUSLAB_LOOP_PROC_BIN, CAMPUSLAB_LOOP_PROC_BIN,
+            registry_dir.c_str(), status_file.c_str(), mode,
+            seed_s.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed
+  }
+  EXPECT_GT(pid, 0) << "fork failed";
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  *exit_status = status;
+  return pid;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(LoopCrashRecovery, SigkillMidCycleRecoversToLastPromotedVersion) {
+  const std::uint64_t seed = resilience::FaultPlan::seed_from_env(1);
+  const auto dir = fs::path(::testing::TempDir()) /
+                   ("loop_crash_" + std::to_string(seed));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto status_file = dir / "status.txt";
+
+  // Round 1: the child bootstraps v1, then dies by SIGKILL at a
+  // seed-chosen stage of the next cycle.
+  int status = 0;
+  spawn_and_wait(dir.string(), status_file.string(), "crash", seed,
+                 &status);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited " << WEXITSTATUS(status)
+      << " instead of dying at its kill stage (2=start failed, "
+         "3=stage never reached)";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  EXPECT_NE(slurp(status_file).find("promoted 1"), std::string::npos)
+      << "v1 was not durable before the cycle started";
+
+  // The kill left no half-written registry: the file still decodes.
+  auto reg = read_registry_file((dir / "registry.clmr").string());
+  ASSERT_TRUE(reg.ok()) << reg.error().code << ": " << reg.error().message;
+  ASSERT_FALSE(reg.value().entries.empty());
+
+  // No phantom promotions: every promotion the audit log claims points
+  // at a version the registry actually holds, and the active version
+  // is one of the promoted ones.
+  std::set<std::uint32_t> entry_versions;
+  for (const auto& entry : reg.value().entries)
+    entry_versions.insert(entry.version);
+  std::set<std::uint32_t> promoted;
+  std::ifstream audit(dir / "audit.log");
+  std::string line;
+  std::size_t audit_lines = 0;
+  while (std::getline(audit, line)) {
+    auto event = decode_audit_line(line);
+    if (!event.has_value()) break;  // at most a torn tail
+    ++audit_lines;
+    if (event->kind == AuditKind::kPromoted) {
+      promoted.insert(event->version);
+      EXPECT_TRUE(entry_versions.count(event->version))
+          << "phantom promotion of v" << event->version;
+    }
+  }
+  ASSERT_GT(audit_lines, 0u);
+  EXPECT_TRUE(promoted.count(reg.value().active_version))
+      << "active v" << reg.value().active_version
+      << " was never audited as promoted";
+
+  // Round 2: a fresh process with no gathered data recovers to the
+  // last promoted version and serves with it.
+  spawn_and_wait(dir.string(), status_file.string(), "recover", seed,
+                 &status);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0)
+      << "recovery child failed: " << slurp(status_file);
+  const auto report = slurp(status_file);
+  EXPECT_NE(report.find("recovered " +
+                        std::to_string(reg.value().active_version)),
+            std::string::npos)
+      << report;
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace campuslab::control
+
+#else  // no fork/exec on this platform
+
+TEST(LoopCrashRecovery, SigkillMidCycleRecoversToLastPromotedVersion) {
+  GTEST_SKIP() << "crash-recovery chaos needs fork/exec";
+}
+
+#endif
