@@ -28,12 +28,12 @@ int main() {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = 4242;
   cfg.scenario.campus.load_scale = 1.0;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(60);
-  amp.duration = Duration::seconds(60);
-  amp.response_rate_pps = 1500;
-  amp.response_bytes = 2200;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2200})
+          .rate(1500)
+          .starting_at(Timestamp::from_seconds(60))
+          .lasting(Duration::seconds(60)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.3;
@@ -91,8 +91,13 @@ int main() {
             "(testbed role)");
   testbed::TestbedConfig replay = cfg;
   replay.scenario.campus.seed = 5151;  // a different day
-  replay.scenario.dns_amplification[0].start =
-      Timestamp::from_seconds(30);
+  replay.scenario.scenarios.clear();
+  replay.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2200})
+          .rate(1500)
+          .starting_at(Timestamp::from_seconds(30))
+          .lasting(Duration::seconds(60)));
   replay.collector.benign_sample_rate = 0.01;
   replay.collector.attack_sample_rate = 0.01;
   testbed::Testbed road(replay);

@@ -21,11 +21,11 @@ int main() {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = 2e3;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(5);
-  amp.duration = Duration::seconds(20);
-  amp.response_rate_pps = 2000;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(2000)
+          .starting_at(Timestamp::from_seconds(5))
+          .lasting(Duration::seconds(20)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.25;

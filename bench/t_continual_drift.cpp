@@ -41,19 +41,19 @@ TestbedConfig drift_scenario(std::uint64_t seed, double phase2_pps = 60) {
   TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig phase1;
-  phase1.start = Timestamp::from_seconds(4);
-  phase1.duration = Duration::seconds(14);
-  phase1.response_rate_pps = 1200;
-  phase1.response_bytes = 2400;
-  cfg.scenario.dns_amplification.push_back(phase1);
-  sim::DnsAmplificationConfig phase2;
-  phase2.start = Timestamp::from_seconds(45);
-  phase2.duration = Duration::seconds(35);
-  phase2.response_rate_pps = phase2_pps;
-  phase2.response_bytes = 300;
-  phase2.reflectors = 20;
-  cfg.scenario.dns_amplification.push_back(phase2);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2400})
+          .rate(1200)
+          .starting_at(Timestamp::from_seconds(4))
+          .lasting(Duration::seconds(14)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 300,
+                                           .reflectors = 20})
+          .rate(phase2_pps)
+          .starting_at(Timestamp::from_seconds(45))
+          .lasting(Duration::seconds(35)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.5;

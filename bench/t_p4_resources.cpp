@@ -23,12 +23,12 @@ ml::Dataset collect_dataset() {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = 901;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(5);
-  amp.duration = Duration::seconds(20);
-  amp.response_rate_pps = 1500;
-  amp.response_bytes = 1500;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 1500})
+          .rate(1500)
+          .starting_at(Timestamp::from_seconds(5))
+          .lasting(Duration::seconds(20)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.4;

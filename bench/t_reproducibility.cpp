@@ -54,12 +54,13 @@ int main() {
     cfg.scenario.campus.wired_clients = campus.wired;
     cfg.scenario.campus.wifi_clients = campus.wifi;
     cfg.scenario.campus.load_scale = campus.load;
-    sim::DnsAmplificationConfig amp;
-    amp.start = Timestamp::from_seconds(6);
-    amp.duration = Duration::seconds(22);
-    amp.response_rate_pps = campus.attack_pps;
-    amp.response_bytes = campus.attack_bytes;
-    cfg.scenario.dns_amplification.push_back(amp);
+    cfg.scenario.scenarios.push_back(
+        sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+            .with(sim::DnsAmplificationShape{.response_bytes =
+                                                 campus.attack_bytes})
+            .rate(campus.attack_pps)
+            .starting_at(Timestamp::from_seconds(6))
+            .lasting(Duration::seconds(22)));
     cfg.collector.labeling.binary_target =
         packet::TrafficLabel::kDnsAmplification;
     cfg.collector.seed = campus.seed * 3;

@@ -27,21 +27,21 @@ testbed::TestbedConfig scenario(std::uint64_t seed) {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(6);
-  amp.duration = Duration::seconds(14);
-  amp.response_rate_pps = 120'000;  // ~2.7 Gbps: congests the 2G access link
-  amp.response_bytes = 2800;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2800})
+          .rate(120'000)  // ~2.7 Gbps: congests the 2G access link
+          .starting_at(Timestamp::from_seconds(6))
+          .lasting(Duration::seconds(14)));
   cfg.collector.benign_sample_rate = 0.01;  // arms don't retrain
   cfg.collector.attack_sample_rate = 0.002;
   // The confounder: a legitimate 3 kpps surge toward one client while
   // the flood is in progress.
-  sim::FlashCrowdConfig crowd;
-  crowd.start = Timestamp::from_seconds(10);
-  crowd.duration = Duration::seconds(12);
-  crowd.rate_pps = 3000;
-  cfg.scenario.flash_crowds.push_back(crowd);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kFlashCrowd)
+          .rate(3000)
+          .starting_at(Timestamp::from_seconds(10))
+          .lasting(Duration::seconds(12)));
   return cfg;
 }
 
@@ -49,11 +49,11 @@ control::DeploymentPackage train_package(bool poisoned) {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = 7070;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(5);
-  amp.duration = Duration::seconds(20);
-  amp.response_rate_pps = 2000;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(2000)
+          .starting_at(Timestamp::from_seconds(5))
+          .lasting(Duration::seconds(20)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.25;

@@ -26,11 +26,11 @@ control::DeploymentPackage train(int depth,
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(4);
-  amp.duration = Duration::seconds(16);
-  amp.response_rate_pps = 1500;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(1500)
+          .starting_at(Timestamp::from_seconds(4))
+          .lasting(Duration::seconds(16)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.3;

@@ -58,12 +58,12 @@ int main() {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = 701;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(5);
-  amp.duration = Duration::seconds(20);
-  amp.response_rate_pps = 600;
-  amp.response_bytes = 900;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 900})
+          .rate(600)
+          .starting_at(Timestamp::from_seconds(5))
+          .lasting(Duration::seconds(20)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.seed = 702;

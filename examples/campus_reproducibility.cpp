@@ -36,11 +36,11 @@ testbed::TestbedConfig make_config(const Campus& c) {
   cfg.scenario.campus.wired_clients = c.wired;
   cfg.scenario.campus.wifi_clients = c.wifi;
   cfg.scenario.campus.load_scale = c.load;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(8);
-  amp.duration = Duration::seconds(25);
-  amp.response_rate_pps = c.attack_pps;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(c.attack_pps)
+          .starting_at(Timestamp::from_seconds(8))
+          .lasting(Duration::seconds(25)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.25;

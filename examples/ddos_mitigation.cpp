@@ -30,12 +30,12 @@ testbed::TestbedConfig incident(std::uint64_t seed, double pps,
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(start_s);
-  amp.duration = Duration::from_seconds(secs);
-  amp.response_rate_pps = pps;
-  amp.response_bytes = 2800;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2800})
+          .rate(pps)
+          .starting_at(Timestamp::from_seconds(start_s))
+          .lasting(Duration::from_seconds(secs)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.25;

@@ -26,26 +26,28 @@ testbed::TestbedConfig all_attacks(std::uint64_t seed) {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(4);
-  amp.duration = Duration::seconds(18);
-  amp.response_rate_pps = 1500;
-  cfg.scenario.dns_amplification.push_back(amp);
-  sim::SynFloodConfig flood;
-  flood.start = Timestamp::from_seconds(8);
-  flood.duration = Duration::seconds(14);
-  flood.syn_rate_pps = 1500;
-  cfg.scenario.syn_flood.push_back(flood);
-  sim::SshBruteForceConfig brute;
-  brute.start = Timestamp::from_seconds(2);
-  brute.duration = Duration::seconds(20);
-  brute.attempts_per_second = 25;
-  cfg.scenario.ssh_brute_force.push_back(brute);
-  sim::FlashCrowdConfig crowd;
-  crowd.start = Timestamp::from_seconds(10);
-  crowd.duration = Duration::seconds(8);
-  crowd.rate_pps = 1000;
-  cfg.scenario.flash_crowds.push_back(crowd);
+  // Pushed in the legacy arming order (dns, syn, ssh, crowd) so the
+  // per-phase seeds — and thus emitted traffic — match the old runs.
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(1500)
+          .starting_at(Timestamp::from_seconds(4))
+          .lasting(Duration::seconds(18)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kSynFlood)
+          .rate(1500)
+          .starting_at(Timestamp::from_seconds(8))
+          .lasting(Duration::seconds(14)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kSshBruteForce)
+          .rate(25)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(20)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kFlashCrowd)
+          .rate(1000)
+          .starting_at(Timestamp::from_seconds(10))
+          .lasting(Duration::seconds(8)));
   return cfg;
 }
 

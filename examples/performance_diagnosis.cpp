@@ -85,12 +85,12 @@ int main() {
   cfg.scenario.campus.diurnal = false;
   // Phase 2's internal problem: a flood that overruns the 2 Gbps
   // client access link (but not the 10 Gbps upstream).
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(30);
-  amp.duration = Duration::seconds(20);
-  amp.response_rate_pps = 110'000;
-  amp.response_bytes = 2800;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2800})
+          .rate(110'000)
+          .starting_at(Timestamp::from_seconds(30))
+          .lasting(Duration::seconds(20)));
   // This example reads link telemetry only; keep the ML collector from
   // buffering millions of flood packets.
   cfg.collector.benign_sample_rate = 0.001;

@@ -25,11 +25,11 @@ int main() {
   testbed::TestbedConfig config;
   config.scenario.campus.seed = 42;
   config.scenario.campus.upstream_gbps = 10.0;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(60);
-  amp.duration = Duration::seconds(30);
-  amp.response_rate_pps = 2000;
-  config.scenario.dns_amplification.push_back(amp);
+  config.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(2000)
+          .starting_at(Timestamp::from_seconds(60))
+          .lasting(Duration::seconds(30)));
 
   testbed::Testbed bed(config);
   std::puts("Simulating 3 minutes of campus traffic (incl. one attack)...");

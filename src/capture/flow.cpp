@@ -126,6 +126,7 @@ void FlowMeter::offer(const packet::Packet& pkt, const PacketView& view,
   }
   if (view.is_dns()) rec.saw_dns = true;
   ++rec.label_packets[static_cast<std::size_t>(pkt.label)];
+  if (rec.scenario_id == 0) rec.scenario_id = pkt.scenario_id;
 
   // Active timeout applies even to busy flows (long transfers are cut
   // into multiple records, as NetFlow does).

@@ -39,6 +39,11 @@ struct FlowRecord {
   std::uint32_t psh_count = 0;
   bool saw_dns = false;
   std::array<std::uint64_t, packet::kTrafficLabelCount> label_packets{};
+  /// Scenario instance that first touched this flow (0 = background
+  /// traffic only). First-nonzero-wins: a flow is attributed to the
+  /// scenario that opened it into attack territory, even if benign
+  /// response frames arrive afterwards.
+  std::uint32_t scenario_id = 0;
 
   Duration duration() const noexcept { return last_ts - first_ts; }
 

@@ -23,24 +23,60 @@ int dataset_label(TrafficLabel label, const FlowDatasetOptions& opt) {
   return static_cast<int>(label);
 }
 
-ml::Dataset build_flow_dataset(std::span<const capture::FlowRecord> flows,
-                               const FlowDatasetOptions& opt) {
+namespace {
+
+ml::Dataset build_from_flows(std::span<const capture::FlowRecord> flows,
+                             const FlowDatasetOptions& opt,
+                             std::vector<std::uint32_t>* scenario_ids) {
   ml::Dataset data(flow_feature_names(), dataset_class_names(opt));
+  if (scenario_ids != nullptr) {
+    scenario_ids->clear();
+    scenario_ids->reserve(flows.size());
+  }
   for (const auto& flow : flows) {
     const auto x = extract_flow_features(flow);
     data.add(x, dataset_label(flow.majority_label(), opt));
+    if (scenario_ids != nullptr) scenario_ids->push_back(flow.scenario_id);
   }
   return data;
 }
 
-ml::Dataset build_flow_dataset(const store::DataStore& store,
-                               const FlowDatasetOptions& opt) {
+ml::Dataset build_from_store(const store::DataStore& store,
+                             const FlowDatasetOptions& opt,
+                             std::vector<std::uint32_t>* scenario_ids) {
   ml::Dataset data(flow_feature_names(), dataset_class_names(opt));
+  if (scenario_ids != nullptr) scenario_ids->clear();
   store.for_each([&](const store::StoredFlow& stored) {
     const auto x = extract_flow_features(stored.flow);
     data.add(x, dataset_label(stored.flow.majority_label(), opt));
+    if (scenario_ids != nullptr)
+      scenario_ids->push_back(stored.flow.scenario_id);
   });
   return data;
+}
+
+}  // namespace
+
+ml::Dataset build_flow_dataset(std::span<const capture::FlowRecord> flows,
+                               const FlowDatasetOptions& opt) {
+  return build_from_flows(flows, opt, nullptr);
+}
+
+ml::Dataset build_flow_dataset(const store::DataStore& store,
+                               const FlowDatasetOptions& opt) {
+  return build_from_store(store, opt, nullptr);
+}
+
+ml::Dataset build_flow_dataset(std::span<const capture::FlowRecord> flows,
+                               const FlowDatasetOptions& opt,
+                               std::vector<std::uint32_t>& scenario_ids) {
+  return build_from_flows(flows, opt, &scenario_ids);
+}
+
+ml::Dataset build_flow_dataset(const store::DataStore& store,
+                               const FlowDatasetOptions& opt,
+                               std::vector<std::uint32_t>& scenario_ids) {
+  return build_from_store(store, opt, &scenario_ids);
 }
 
 }  // namespace campuslab::features

@@ -33,4 +33,17 @@ ml::Dataset build_flow_dataset(std::span<const capture::FlowRecord> flows,
 ml::Dataset build_flow_dataset(const store::DataStore& store,
                                const FlowDatasetOptions& opt = {});
 
+/// As above, additionally recording per-row provenance: after the call,
+/// `scenario_ids[i]` is the scenario instance that generated row i's
+/// flow (0 = background traffic). This is what lets benches score a
+/// model per scenario — e.g. a confusion matrix restricted to the worm
+/// phase — instead of only per label class.
+ml::Dataset build_flow_dataset(std::span<const capture::FlowRecord> flows,
+                               const FlowDatasetOptions& opt,
+                               std::vector<std::uint32_t>& scenario_ids);
+
+ml::Dataset build_flow_dataset(const store::DataStore& store,
+                               const FlowDatasetOptions& opt,
+                               std::vector<std::uint32_t>& scenario_ids);
+
 }  // namespace campuslab::features

@@ -127,6 +127,7 @@ Packet PacketBuilder::build() const {
   pkt.ts = ts_;
   pkt.assign(frame.view());  // straight into a pool buffer
   pkt.label = label_;
+  pkt.scenario_id = scenario_id_;
   return pkt;
 }
 

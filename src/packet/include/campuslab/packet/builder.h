@@ -62,6 +62,11 @@ class PacketBuilder {
     label_ = l;
     return *this;
   }
+  /// Tag the frame with the scenario instance that generated it.
+  PacketBuilder& scenario(std::uint32_t id) {
+    scenario_id_ = id;
+    return *this;
+  }
 
   /// Assemble the frame: Ethernet + IPv4 (+TCP/UDP/ICMP) + payload, with
   /// all lengths and checksums correct. Precondition: one of
@@ -83,6 +88,7 @@ class PacketBuilder {
   std::uint32_t icmp_rest_ = 0;
   std::uint8_t ttl_ = Ipv4Header::kDefaultTtl;
   TrafficLabel label_ = TrafficLabel::kBenign;
+  std::uint32_t scenario_id_ = 0;
   std::vector<std::uint8_t> payload_;
 };
 

@@ -18,6 +18,8 @@ enum class TrafficLabel : std::uint8_t {
   kSynFlood = 2,
   kPortScan = 3,
   kSshBruteForce = 4,
+  kWorm = 5,          // self-propagating worm scan/exploit traffic
+  kExfiltration = 6,  // low-and-slow data exfiltration / C2 beaconing
 };
 
 constexpr std::string_view to_string(TrafficLabel label) noexcept {
@@ -27,6 +29,8 @@ constexpr std::string_view to_string(TrafficLabel label) noexcept {
     case TrafficLabel::kSynFlood: return "syn_flood";
     case TrafficLabel::kPortScan: return "port_scan";
     case TrafficLabel::kSshBruteForce: return "ssh_brute_force";
+    case TrafficLabel::kWorm: return "worm";
+    case TrafficLabel::kExfiltration: return "exfiltration";
   }
   return "unknown";
 }
@@ -35,6 +39,6 @@ constexpr bool is_attack(TrafficLabel label) noexcept {
   return label != TrafficLabel::kBenign;
 }
 
-inline constexpr std::size_t kTrafficLabelCount = 5;
+inline constexpr std::size_t kTrafficLabelCount = 7;
 
 }  // namespace campuslab::packet

@@ -20,6 +20,9 @@ namespace campuslab::packet {
 /// (kBenign for anything not injected by an attack generator) and is
 /// metadata: it is never serialized into the frame bytes, mirroring how
 /// a labelled dataset annotates rather than alters its samples.
+/// `scenario_id` extends the annotation with provenance: which scenario
+/// phase instance generated the frame (0 = none, i.e. background
+/// traffic), so evaluation can be broken down per scenario.
 ///
 /// The frame bytes live in a refcounted pool buffer (see buffer.h), so
 /// copying a Packet is a refcount bump — no allocation, no memcpy — and
@@ -31,6 +34,7 @@ class Packet {
  public:
   Timestamp ts;
   TrafficLabel label = TrafficLabel::kBenign;
+  std::uint32_t scenario_id = 0;  // generating scenario instance; 0 = none
 
   Packet() noexcept = default;
 

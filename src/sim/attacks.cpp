@@ -1,249 +1,59 @@
 #include "campuslab/sim/attacks.h"
 
-#include <memory>
-
-#include "campuslab/packet/dns.h"
-
 namespace campuslab::sim {
 
-using packet::DnsType;
-using packet::Endpoint;
-using packet::Ipv4Address;
-using packet::MacAddress;
-using packet::PacketBuilder;
-using packet::TcpFlags;
-using packet::TrafficLabel;
-
-namespace {
-
-/// Drive an emission loop at `rate_pps` between [start, start+duration].
-/// `emit_one` is called once per packet slot.
-void drive(CampusNetwork& net, Timestamp start, Duration duration,
-           double rate_pps, std::uint64_t seed,
-           std::function<void(Rng&)> emit_one) {
-  struct LoopState {
-    Rng rng;
-    Timestamp end;
-    double rate;
-    std::function<void(Rng&)> emit;
-  };
-  auto st = std::make_shared<LoopState>(
-      LoopState{Rng(seed), start + duration, rate_pps, std::move(emit_one)});
-  // Self-passing continuation: every queued event owns a copy of the
-  // closure (which owns `st`), so once the loop window ends — or the
-  // event queue is destroyed — the last copy releases the state. A
-  // shared_ptr<function> whose body recaptures that same shared_ptr
-  // would form a permanent cycle and leak (it used to).
-  auto step = [&net, st](auto self) -> void {
-    if (net.events().now() > st->end) return;
-    st->emit(st->rng);
-    net.events().schedule_in(
-        Duration::from_seconds(st->rng.exponential(1.0 / st->rate)),
-        [self] { self(self); });
-  };
-  net.events().schedule_at(start, [step] { step(step); });
-}
-
-}  // namespace
-
-void DnsAmplificationAttack::start(CampusNetwork& net, std::uint64_t seed) {
-  DnsAmplificationConfig cfg = cfg_;
-  if (cfg.victim == Ipv4Address{}) {
-    cfg.victim = net.topology().clients().front().endpoint.ip;
+Scenario legacy_scenario(const DnsAmplificationConfig& cfg) {
+  DnsAmplificationShape shape;
+  shape.response_bytes = cfg.response_bytes;
+  shape.reflectors = cfg.reflectors;
+  auto builder = Scenario::attack(BehaviorKind::kDnsAmplification)
+                     .with(shape)
+                     .rate(cfg.response_rate_pps)
+                     .starting_at(cfg.start)
+                     .lasting(cfg.duration);
+  if (!(cfg.victim == packet::Ipv4Address{})) {
+    builder.against(victims().host(cfg.victim));
   }
-  cfg_ = cfg;
-
-  // Pre-serialize a small family of response bodies around the target
-  // size (real reflectors answer with whatever records they hold, so
-  // sizes jitter); per packet we vary the body, the DNS id, and the
-  // reflector address.
-  const auto query =
-      packet::make_dns_query(0, "amp.reflector.example", DnsType::kAny);
-  auto bodies = std::make_shared<std::vector<std::vector<std::uint8_t>>>();
-  for (const double scale : {0.55, 0.75, 1.0, 1.2, 1.45}) {
-    const auto bytes = std::max<std::size_t>(
-        static_cast<std::size_t>(static_cast<double>(cfg.response_bytes) *
-                                 scale),
-        80);
-    bodies->push_back(
-        packet::make_dns_response(query, 6, bytes).serialize());
-  }
-
-  drive(net, cfg.start, cfg.duration, cfg.response_rate_pps, seed ^ 0xD45,
-        [this, &net, cfg, bodies](Rng& rng) {
-          const auto reflector_index =
-              static_cast<std::uint32_t>(rng.below(
-                  static_cast<std::uint64_t>(cfg.reflectors)));
-          Endpoint reflector{
-              MacAddress::from_id(0x00A00000u | reflector_index),
-              Topology::external_host(2, reflector_index, 53).ip, 53};
-          Endpoint victim{MacAddress::from_id(0x00A10000u), cfg.victim,
-                          static_cast<std::uint16_t>(
-                              1024 + rng.below(60000))};
-          auto& body = (*bodies)[rng.below(bodies->size())];
-          body[0] = static_cast<std::uint8_t>(rng.below(256));
-          body[1] = static_cast<std::uint8_t>(rng.below(256));
-          auto pkt = PacketBuilder(net.events().now())
-                         .udp(reflector, victim)
-                         .payload(body)
-                         .label(TrafficLabel::kDnsAmplification)
-                         .build();
-          ++emitted_;
-          net.inject(Direction::kInbound, std::move(pkt));
-        });
+  return std::move(builder).build();
 }
 
-void SynFloodAttack::start(CampusNetwork& net, std::uint64_t seed) {
-  Endpoint victim = net.topology().web_server().endpoint;
-  victim.port = cfg_.target_port;
-
-  drive(net, cfg_.start, cfg_.duration, cfg_.syn_rate_pps, seed ^ 0x5F1,
-        [this, &net, victim](Rng& rng) {
-          Endpoint spoofed{
-              MacAddress::from_id(0x00B00000u |
-                                  static_cast<std::uint32_t>(
-                                      rng.below(1 << 20))),
-              Topology::random_external_address(rng),
-              static_cast<std::uint16_t>(1024 + rng.below(60000))};
-          auto pkt = PacketBuilder(net.events().now())
-                         .tcp(spoofed, victim, TcpFlags::kSyn,
-                              static_cast<std::uint32_t>(rng.next()))
-                         .label(TrafficLabel::kSynFlood)
-                         .build();
-          ++emitted_;
-          net.inject(Direction::kInbound, std::move(pkt));
-        });
+Scenario legacy_scenario(const SynFloodConfig& cfg) {
+  SynFloodShape shape;
+  shape.target_port = cfg.target_port;
+  return Scenario::attack(BehaviorKind::kSynFlood)
+      .with(shape)
+      .rate(cfg.syn_rate_pps)
+      .starting_at(cfg.start)
+      .lasting(cfg.duration);
 }
 
-void PortScanAttack::start(CampusNetwork& net, std::uint64_t seed) {
-  // One persistent scanner walking the campus address space.
-  Rng addr_rng(seed ^ 0x9C4);
-  const Endpoint scanner{MacAddress::from_id(0x00C00001u),
-                         Topology::random_external_address(addr_rng), 0};
-  static constexpr std::uint16_t kPorts[] = {
-      21, 22, 23, 25, 80, 110, 139, 143, 443, 445, 3306, 3389, 5432, 8080};
-  auto cursor = std::make_shared<std::uint64_t>(0);
-  const auto& clients = net.topology().clients();
-  const auto& servers = net.topology().servers();
-  const std::size_t host_count = clients.size() + servers.size();
-  const int ports_per_host =
-      std::min<int>(cfg_.ports_per_host,
-                    static_cast<int>(sizeof kPorts / sizeof kPorts[0]));
-
-  drive(net, cfg_.start, cfg_.duration, cfg_.probe_rate_pps, seed ^ 0x9C5,
-        [this, &net, scanner, cursor, &clients, &servers, host_count,
-         ports_per_host](Rng& rng) {
-          const std::uint64_t host_idx =
-              (*cursor / static_cast<std::uint64_t>(ports_per_host)) %
-              host_count;
-          const std::uint16_t port =
-              kPorts[*cursor % static_cast<std::uint64_t>(ports_per_host)];
-          ++*cursor;
-          const auto& target =
-              host_idx < clients.size()
-                  ? clients[host_idx]
-                  : servers[host_idx - clients.size()];
-          Endpoint src = scanner;
-          src.port = static_cast<std::uint16_t>(40000 + rng.below(20000));
-          Endpoint dst = target.endpoint;
-          dst.port = port;
-          auto pkt = PacketBuilder(net.events().now())
-                         .tcp(src, dst, TcpFlags::kSyn,
-                              static_cast<std::uint32_t>(rng.next()))
-                         .label(TrafficLabel::kPortScan)
-                         .build();
-          ++emitted_;
-          net.inject(Direction::kInbound, std::move(pkt));
-          // ~20% of probes hit something that answers; the campus
-          // response (RST or SYN-ACK) heads outbound, labelled benign —
-          // it is the victim's traffic, not the attacker's.
-          if (rng.chance(0.2)) {
-            auto resp = PacketBuilder(net.events().now())
-                            .tcp(dst, src,
-                                 rng.chance(0.3)
-                                     ? static_cast<std::uint8_t>(
-                                           TcpFlags::kSyn | TcpFlags::kAck)
-                                     : static_cast<std::uint8_t>(
-                                           TcpFlags::kRst | TcpFlags::kAck),
-                                 0, 1)
-                            .build();
-            net.inject(Direction::kOutbound, std::move(resp));
-          }
-        });
+Scenario legacy_scenario(const PortScanConfig& cfg) {
+  PortScanShape shape;
+  shape.ports_per_host = cfg.ports_per_host;
+  return Scenario::attack(BehaviorKind::kPortScan)
+      .with(shape)
+      .rate(cfg.probe_rate_pps)
+      .starting_at(cfg.start)
+      .lasting(cfg.duration);
 }
 
-void FlashCrowdEvent::start(CampusNetwork& net, std::uint64_t seed) {
-  const auto& clients = net.topology().clients();
-  const Endpoint receiver =
-      clients[std::min(cfg_.client_index, clients.size() - 1)].endpoint;
-  const int sources = std::max(cfg_.sources, 1);
-
-  drive(net, cfg_.start, cfg_.duration, cfg_.rate_pps, seed ^ 0xF1A5,
-        [this, &net, receiver, sources](Rng& rng) {
-          const auto edge = static_cast<std::uint32_t>(
-              rng.below(static_cast<std::uint64_t>(sources)));
-          Endpoint src = Topology::external_host(1, edge, 443);
-          Endpoint dst = receiver;
-          dst.port = static_cast<std::uint16_t>(40000 + edge);
-          auto pkt = PacketBuilder(net.events().now())
-                         .udp(src, dst)
-                         .payload_size(cfg_.payload_bytes)
-                         .build();  // label stays kBenign
-          ++emitted_;
-          net.inject(Direction::kInbound, std::move(pkt));
-        });
+Scenario legacy_scenario(const SshBruteForceConfig& cfg) {
+  return Scenario::attack(BehaviorKind::kSshBruteForce)
+      .rate(cfg.attempts_per_second)
+      .starting_at(cfg.start)
+      .lasting(cfg.duration);
 }
 
-void SshBruteForceAttack::start(CampusNetwork& net, std::uint64_t seed) {
-  Rng addr_rng(seed ^ 0xB4F);
-  const Ipv4Address attacker_ip = Topology::random_external_address(addr_rng);
-  Endpoint gateway = net.topology().ssh_gateway().endpoint;
-  gateway.port = 22;
-
-  drive(net, cfg_.start, cfg_.duration, cfg_.attempts_per_second,
-        seed ^ 0xB50, [this, &net, attacker_ip, gateway](Rng& rng) {
-          // One login attempt: SYN, SYN-ACK, ACK, a couple of small auth
-          // exchanges, then RST from the server (failed password).
-          Endpoint attacker{MacAddress::from_id(0x00D00001u), attacker_ip,
-                            static_cast<std::uint16_t>(
-                                1024 + rng.below(60000))};
-          const Timestamp now = net.events().now();
-          auto emit_in = [&](packet::Packet p) {
-            ++emitted_;
-            net.inject(Direction::kInbound, std::move(p));
-          };
-          emit_in(PacketBuilder(now)
-                      .tcp(attacker, gateway, TcpFlags::kSyn, 7)
-                      .label(TrafficLabel::kSshBruteForce)
-                      .build());
-          net.inject(Direction::kOutbound,
-                     PacketBuilder(now)
-                         .tcp(gateway, attacker,
-                              TcpFlags::kSyn | TcpFlags::kAck, 17, 8)
-                         .build());
-          emit_in(PacketBuilder(now)
-                      .tcp(attacker, gateway, TcpFlags::kAck, 8, 18)
-                      .label(TrafficLabel::kSshBruteForce)
-                      .build());
-          for (int i = 0; i < 3; ++i) {
-            emit_in(PacketBuilder(now)
-                        .tcp(attacker, gateway,
-                             TcpFlags::kAck | TcpFlags::kPsh, 8, 18)
-                        .payload_size(48 + rng.below(80))
-                        .label(TrafficLabel::kSshBruteForce)
-                        .build());
-            net.inject(Direction::kOutbound,
-                       PacketBuilder(now)
-                           .tcp(gateway, attacker,
-                                TcpFlags::kAck | TcpFlags::kPsh, 18, 8)
-                           .payload_size(32 + rng.below(48))
-                           .build());
-          }
-          net.inject(Direction::kOutbound,
-                     PacketBuilder(now)
-                         .tcp(gateway, attacker, TcpFlags::kRst, 18, 8)
-                         .build());
-        });
+Scenario legacy_scenario(const FlashCrowdConfig& cfg) {
+  FlashCrowdShape shape;
+  shape.payload_bytes = cfg.payload_bytes;
+  shape.sources = cfg.sources;
+  return Scenario::attack(BehaviorKind::kFlashCrowd)
+      .with(shape)
+      .rate(cfg.rate_pps)
+      .starting_at(cfg.start)
+      .lasting(cfg.duration)
+      .against(victims().client_index(cfg.client_index));
 }
 
 }  // namespace campuslab::sim

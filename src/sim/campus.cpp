@@ -25,15 +25,26 @@ CampusNetwork::CampusNetwork(EventQueue& events, const CampusConfig& config)
 void CampusNetwork::inject(Direction dir, packet::Packet pkt) {
   const Timestamp now = events_->now();
   pkt.ts = now;
+  if (auto* sc = scenario_slot(pkt)) {
+    ++sc->offered;
+    sc->bytes_offered += pkt.size();
+  }
   if (dir == Direction::kOutbound) {
     accounting_.offered_out.count(pkt);
     const auto delivery = upstream_out_.transmit(pkt.size(), now);
-    if (!delivery) return;  // dropped in the border egress queue
+    if (!delivery) {
+      if (auto* sc = scenario_slot(pkt)) ++sc->lost;
+      return;  // dropped in the border egress queue
+    }
     // Packets are pooled-buffer handles now: capturing one by value is
     // a refcount bump, so no shared_ptr wrapper is needed.
     events_->schedule_at(*delivery, [this, pkt = std::move(pkt)]() mutable {
       pkt.ts = events_->now();
       accounting_.delivered_out.count(pkt);
+      if (auto* sc = scenario_slot(pkt)) {
+        ++sc->tapped;
+        ++sc->delivered;
+      }
       if (tap_) tap_(pkt, Direction::kOutbound);
     });
     return;
@@ -43,6 +54,7 @@ void CampusNetwork::inject(Direction dir, packet::Packet pkt) {
   const auto delivery = upstream_in_.transmit(pkt.size(), now);
   if (!delivery) {
     accounting_.lost_upstream.count(pkt);
+    if (auto* sc = scenario_slot(pkt)) ++sc->lost;
     return;
   }
   events_->schedule_at(*delivery, [this, pkt = std::move(pkt)]() mutable {
@@ -53,10 +65,12 @@ void CampusNetwork::inject(Direction dir, packet::Packet pkt) {
 
 void CampusNetwork::deliver_inbound(packet::Packet pkt) {
   accounting_.tapped_in.count(pkt);
+  if (auto* sc = scenario_slot(pkt)) ++sc->tapped;
   if (tap_) tap_(pkt, Direction::kInbound);
 
   if (filter_ && filter_(pkt)) {
     accounting_.filtered.count(pkt);
+    if (auto* sc = scenario_slot(pkt)) ++sc->filtered;
     return;
   }
 
@@ -76,14 +90,17 @@ void CampusNetwork::deliver_inbound(packet::Packet pkt) {
                                                   events_->now());
     if (!delivery) {
       accounting_.lost_access.count(pkt);
+      if (auto* sc = scenario_slot(pkt)) ++sc->lost;
       return;
     }
     events_->schedule_at(*delivery, [this, pkt = std::move(pkt)] {
       accounting_.delivered.count(pkt);
+      if (auto* sc = scenario_slot(pkt)) ++sc->delivered;
     });
     return;
   }
   accounting_.delivered.count(pkt);
+  if (auto* sc = scenario_slot(pkt)) ++sc->delivered;
 }
 
 double CampusNetwork::diurnal_factor(Timestamp t) const noexcept {

@@ -1,20 +1,30 @@
-// Attack injectors — labelled malicious traffic.
+// Legacy attack-config shims.
 //
-// Each injector emits real wire-format packets carrying its ground-truth
-// TrafficLabel. The DNS amplification attack is the paper's running
-// example (§2): reflectors return large DNS responses (UDP source port
-// 53) to a spoofed victim inside the campus, so the campus border sees a
-// high-rate inbound flood of large packets from moderately many sources.
+// The five original attack classes (one closed AttackInjector subclass
+// per struct) are replaced by the composable scenario DSL in
+// scenario.h; these config structs remain as thin, deprecated
+// conversion shims so existing call sites keep compiling while they
+// migrate. `legacy_scenario(cfg)` maps each struct onto a one-phase
+// Scenario whose emission is byte-identical to the retired class
+// (pinned by scenario_test.cpp).
+//
+// New code should build scenarios directly:
+//
+//   Scenario::attack(BehaviorKind::kSynFlood)
+//       .rate(10'000)
+//       .starting_at(t0).lasting(Duration::seconds(60))
+//
+// These shims will be removed once nothing constructs the structs.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
-#include "campuslab/sim/campus.h"
+#include "campuslab/sim/scenario.h"
 
 namespace campuslab::sim {
 
 /// DNS amplification / reflection flood (paper §2 running example).
+/// Deprecated: use Scenario::attack(BehaviorKind::kDnsAmplification).
 struct DnsAmplificationConfig {
   Timestamp start;
   Duration duration = Duration::seconds(60);
@@ -26,6 +36,7 @@ struct DnsAmplificationConfig {
 };
 
 /// Spoofed-source SYN flood against a campus server.
+/// Deprecated: use Scenario::attack(BehaviorKind::kSynFlood).
 struct SynFloodConfig {
   Timestamp start;
   Duration duration = Duration::seconds(60);
@@ -34,6 +45,7 @@ struct SynFloodConfig {
 };
 
 /// Horizontal/vertical scan of campus address space.
+/// Deprecated: use Scenario::attack(BehaviorKind::kPortScan).
 struct PortScanConfig {
   Timestamp start;
   Duration duration = Duration::seconds(120);
@@ -42,6 +54,7 @@ struct PortScanConfig {
 };
 
 /// Repeated SSH login attempts against the bastion.
+/// Deprecated: use Scenario::attack(BehaviorKind::kSshBruteForce).
 struct SshBruteForceConfig {
   Timestamp start;
   Duration duration = Duration::seconds(180);
@@ -49,11 +62,11 @@ struct SshBruteForceConfig {
 };
 
 /// Benign flash crowd — not an attack, but the attack-shaped event that
-/// stress-tests mitigation safety (§4 "robustness"): a legitimate
-/// high-rate stream (live lecture, exam submission deadline, popular
-/// download) toward one campus client. Rate signatures resemble a
-/// flood; labels stay kBenign, so any mitigation that sheds it is
-/// measurable collateral damage.
+/// stress-tests mitigation safety (§4 "robustness"): labels stay
+/// kBenign, so any mitigation that sheds it is measurable collateral.
+/// Deprecated: use Scenario::attack(BehaviorKind::kFlashCrowd). Note
+/// the selector validates client_index strictly — an out-of-range index
+/// now fails with scenario_bad_victim instead of silently clamping.
 struct FlashCrowdConfig {
   Timestamp start;
   Duration duration = Duration::seconds(30);
@@ -64,95 +77,11 @@ struct FlashCrowdConfig {
   int sources = 40;  // CDN edge nodes serving the event
 };
 
-/// Common interface: arm the injector once; emission is event-driven.
-class AttackInjector {
- public:
-  virtual ~AttackInjector() = default;
-  virtual void start(CampusNetwork& net, std::uint64_t seed) = 0;
-  virtual std::uint64_t packets_emitted() const noexcept = 0;
-  virtual packet::TrafficLabel label() const noexcept = 0;
-};
-
-class DnsAmplificationAttack final : public AttackInjector {
- public:
-  explicit DnsAmplificationAttack(DnsAmplificationConfig cfg)
-      : cfg_(cfg) {}
-  void start(CampusNetwork& net, std::uint64_t seed) override;
-  std::uint64_t packets_emitted() const noexcept override {
-    return emitted_;
-  }
-  packet::TrafficLabel label() const noexcept override {
-    return packet::TrafficLabel::kDnsAmplification;
-  }
-  const DnsAmplificationConfig& config() const noexcept { return cfg_; }
-
- private:
-  DnsAmplificationConfig cfg_;
-  std::uint64_t emitted_ = 0;
-};
-
-class SynFloodAttack final : public AttackInjector {
- public:
-  explicit SynFloodAttack(SynFloodConfig cfg) : cfg_(cfg) {}
-  void start(CampusNetwork& net, std::uint64_t seed) override;
-  std::uint64_t packets_emitted() const noexcept override {
-    return emitted_;
-  }
-  packet::TrafficLabel label() const noexcept override {
-    return packet::TrafficLabel::kSynFlood;
-  }
-
- private:
-  SynFloodConfig cfg_;
-  std::uint64_t emitted_ = 0;
-};
-
-class PortScanAttack final : public AttackInjector {
- public:
-  explicit PortScanAttack(PortScanConfig cfg) : cfg_(cfg) {}
-  void start(CampusNetwork& net, std::uint64_t seed) override;
-  std::uint64_t packets_emitted() const noexcept override {
-    return emitted_;
-  }
-  packet::TrafficLabel label() const noexcept override {
-    return packet::TrafficLabel::kPortScan;
-  }
-
- private:
-  PortScanConfig cfg_;
-  std::uint64_t emitted_ = 0;
-};
-
-class FlashCrowdEvent final : public AttackInjector {
- public:
-  explicit FlashCrowdEvent(FlashCrowdConfig cfg) : cfg_(cfg) {}
-  void start(CampusNetwork& net, std::uint64_t seed) override;
-  std::uint64_t packets_emitted() const noexcept override {
-    return emitted_;
-  }
-  packet::TrafficLabel label() const noexcept override {
-    return packet::TrafficLabel::kBenign;
-  }
-
- private:
-  FlashCrowdConfig cfg_;
-  std::uint64_t emitted_ = 0;
-};
-
-class SshBruteForceAttack final : public AttackInjector {
- public:
-  explicit SshBruteForceAttack(SshBruteForceConfig cfg) : cfg_(cfg) {}
-  void start(CampusNetwork& net, std::uint64_t seed) override;
-  std::uint64_t packets_emitted() const noexcept override {
-    return emitted_;
-  }
-  packet::TrafficLabel label() const noexcept override {
-    return packet::TrafficLabel::kSshBruteForce;
-  }
-
- private:
-  SshBruteForceConfig cfg_;
-  std::uint64_t emitted_ = 0;
-};
+/// Convert a legacy config into its one-phase Scenario equivalent.
+Scenario legacy_scenario(const DnsAmplificationConfig& cfg);
+Scenario legacy_scenario(const SynFloodConfig& cfg);
+Scenario legacy_scenario(const PortScanConfig& cfg);
+Scenario legacy_scenario(const SshBruteForceConfig& cfg);
+Scenario legacy_scenario(const FlashCrowdConfig& cfg);
 
 }  // namespace campuslab::sim

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -67,6 +68,18 @@ struct DeliveryAccounting {
   StageCounters delivered_out;    // made it onto the upstream wire
 };
 
+/// Frame/byte fates for one scenario instance (frames stamped with a
+/// nonzero scenario_id). Direction-agnostic: "delivered" means the
+/// frame reached its destination side of the border.
+struct ScenarioCounters {
+  std::uint64_t offered = 0;
+  std::uint64_t tapped = 0;
+  std::uint64_t filtered = 0;
+  std::uint64_t lost = 0;       // upstream / egress / access-link drops
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes_offered = 0;
+};
+
 class CampusNetwork {
  public:
   /// Tap callback: every packet on the border wire, with its direction.
@@ -92,6 +105,13 @@ class CampusNetwork {
   const DeliveryAccounting& accounting() const noexcept {
     return accounting_;
   }
+  /// Per-scenario-instance fates, keyed by scenario_id (ordered, so
+  /// reports iterate deterministically). Frames with scenario_id 0
+  /// (background traffic) are not tracked here.
+  const std::map<std::uint32_t, ScenarioCounters>& scenario_accounting()
+      const noexcept {
+    return scenario_accounting_;
+  }
   const Link& upstream_in() const noexcept { return upstream_in_; }
   const Link& upstream_out() const noexcept { return upstream_out_; }
   const Link& client_access() const noexcept { return client_access_; }
@@ -108,6 +128,10 @@ class CampusNetwork {
 
  private:
   void deliver_inbound(packet::Packet pkt);
+  ScenarioCounters* scenario_slot(const packet::Packet& pkt) {
+    if (pkt.scenario_id == 0) return nullptr;
+    return &scenario_accounting_[pkt.scenario_id];
+  }
 
   EventQueue* events_;
   CampusConfig config_;
@@ -118,6 +142,7 @@ class CampusNetwork {
   Tap tap_;
   IngressFilter filter_;
   DeliveryAccounting accounting_;
+  std::map<std::uint32_t, ScenarioCounters> scenario_accounting_;
 };
 
 }  // namespace campuslab::sim

@@ -1,0 +1,430 @@
+#include "campuslab/sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace campuslab::sim {
+
+std::string_view to_string(BehaviorKind kind) noexcept {
+  switch (kind) {
+    case BehaviorKind::kDnsAmplification: return "dns_amplification";
+    case BehaviorKind::kSynFlood: return "syn_flood";
+    case BehaviorKind::kPortScan: return "port_scan";
+    case BehaviorKind::kSshBruteForce: return "ssh_brute_force";
+    case BehaviorKind::kFlashCrowd: return "flash_crowd";
+    case BehaviorKind::kWorm: return "worm";
+    case BehaviorKind::kExfiltration: return "exfiltration";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// IntensityEnvelope
+
+namespace {
+
+/// The campus time-of-day curve (campus.cpp diurnal_factor), evaluated
+/// unconditionally: attack envelopes follow the day shape even when the
+/// config keeps benign load flat.
+double diurnal_shape(double day_phase_hours, Timestamp t) noexcept {
+  const double hours =
+      std::fmod(day_phase_hours + t.to_seconds() / 3600.0, 24.0);
+  const double d = hours - 14.0;
+  const double wrapped = d - 24.0 * std::round(d / 24.0);
+  return 0.2 + 0.8 * std::exp(-(wrapped * wrapped) / (2.0 * 4.5 * 4.5));
+}
+
+bool positive_finite(double v) noexcept {
+  return std::isfinite(v) && v > 0.0;
+}
+bool nonnegative_finite(double v) noexcept {
+  return std::isfinite(v) && v >= 0.0;
+}
+
+}  // namespace
+
+IntensityEnvelope IntensityEnvelope::constant(double pps) noexcept {
+  IntensityEnvelope e;
+  e.kind_ = Kind::kConstant;
+  e.a_ = pps;
+  return e;
+}
+
+IntensityEnvelope IntensityEnvelope::ramp(double from_pps,
+                                          double to_pps) noexcept {
+  IntensityEnvelope e;
+  e.kind_ = Kind::kRamp;
+  e.a_ = from_pps;
+  e.b_ = to_pps;
+  return e;
+}
+
+IntensityEnvelope IntensityEnvelope::square_wave(double on_pps,
+                                                 Duration period,
+                                                 double duty,
+                                                 double off_pps) noexcept {
+  IntensityEnvelope e;
+  e.kind_ = Kind::kSquareWave;
+  e.a_ = on_pps;
+  e.b_ = off_pps;
+  e.period_ = period;
+  e.duty_ = duty;
+  return e;
+}
+
+IntensityEnvelope IntensityEnvelope::diurnal(double peak_pps) noexcept {
+  IntensityEnvelope e;
+  e.kind_ = Kind::kDiurnal;
+  e.a_ = peak_pps;
+  return e;
+}
+
+double IntensityEnvelope::peak() const noexcept {
+  switch (kind_) {
+    case Kind::kConstant:
+    case Kind::kDiurnal:
+      return a_;
+    case Kind::kRamp:
+    case Kind::kSquareWave:
+      return std::max(a_, b_);
+  }
+  return 0.0;
+}
+
+Status IntensityEnvelope::validate() const {
+  const auto bad = [](std::string why) {
+    return Status(Error::make("scenario_bad_intensity", std::move(why)));
+  };
+  switch (kind_) {
+    case Kind::kConstant:
+      if (!positive_finite(a_)) return bad("constant rate must be > 0");
+      return Status::success();
+    case Kind::kRamp:
+      if (!nonnegative_finite(a_) || !nonnegative_finite(b_)) {
+        return bad("ramp rates must be finite and >= 0");
+      }
+      if (a_ <= 0.0 && b_ <= 0.0) return bad("ramp never reaches a rate > 0");
+      return Status::success();
+    case Kind::kSquareWave:
+      if (!positive_finite(a_)) return bad("square-wave on rate must be > 0");
+      if (!nonnegative_finite(b_)) {
+        return bad("square-wave off rate must be finite and >= 0");
+      }
+      if (period_ <= Duration{}) return bad("square-wave period must be > 0");
+      if (!(duty_ > 0.0 && duty_ <= 1.0)) {
+        return bad("square-wave duty cycle must be in (0, 1]");
+      }
+      return Status::success();
+    case Kind::kDiurnal:
+      if (!positive_finite(a_)) return bad("diurnal peak rate must be > 0");
+      return Status::success();
+  }
+  return bad("unknown envelope kind");
+}
+
+double IntensityEnvelope::rate_at(Timestamp now, Timestamp start,
+                                  Duration window,
+                                  const CampusConfig& campus) const noexcept {
+  const double elapsed = (now - start).to_seconds();
+  switch (kind_) {
+    case Kind::kConstant:
+      return a_;
+    case Kind::kRamp: {
+      const double span = window.to_seconds();
+      if (span <= 0.0) return a_;
+      const double f = std::clamp(elapsed / span, 0.0, 1.0);
+      return a_ + (b_ - a_) * f;
+    }
+    case Kind::kSquareWave: {
+      const double p = period_.to_seconds();
+      if (p <= 0.0) return a_;
+      const double pos = std::fmod(std::max(elapsed, 0.0), p);
+      return pos < duty_ * p ? a_ : b_;
+    }
+    case Kind::kDiurnal:
+      return a_ * diurnal_shape(campus.day_phase_hours, now);
+  }
+  return 0.0;
+}
+
+std::optional<Duration> IntensityEnvelope::next_active(
+    Duration elapsed) const noexcept {
+  switch (kind_) {
+    case Kind::kConstant:
+    case Kind::kDiurnal:
+      // Validated envelopes of these kinds are never zero.
+      return a_ > 0.0 ? std::optional<Duration>(elapsed) : std::nullopt;
+    case Kind::kRamp:
+      // A from-zero ramp is positive arbitrarily soon after start; step
+      // past the zero point rather than chasing the limit.
+      return a_ > 0.0 ? elapsed : elapsed + Duration::millis(1);
+    case Kind::kSquareWave: {
+      if (b_ > 0.0) return elapsed;  // never actually off
+      const double p = period_.to_seconds();
+      if (p <= 0.0) return elapsed;
+      const double e = std::max(elapsed.to_seconds(), 0.0);
+      const double pos = std::fmod(e, p);
+      if (pos < duty_ * p) return elapsed;  // inside an on-burst
+      return Duration::from_seconds((std::floor(e / p) + 1.0) * p);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// VictimSelector
+
+VictimSelector VictimSelector::role(HostRole r) const {
+  VictimSelector v = *this;
+  v.role_ = r;
+  return v;
+}
+
+VictimSelector VictimSelector::pick(std::size_t k) const {
+  VictimSelector v = *this;
+  v.pick_ = k;
+  return v;
+}
+
+VictimSelector VictimSelector::host(packet::Ipv4Address ip) const {
+  VictimSelector v = *this;
+  v.base_ = Base::kAddress;
+  v.address_ = ip;
+  return v;
+}
+
+VictimSelector VictimSelector::client_index(std::size_t i) const {
+  VictimSelector v = *this;
+  v.base_ = Base::kClientIndex;
+  v.client_index_ = i;
+  return v;
+}
+
+VictimSelector VictimSelector::first_client() const {
+  VictimSelector v = *this;
+  v.base_ = Base::kFirstClient;
+  return v;
+}
+
+VictimSelector VictimSelector::worm_reachable() const {
+  VictimSelector v = *this;
+  v.base_ = Base::kWormSurface;
+  return v;
+}
+
+Result<std::vector<Host>> VictimSelector::resolve(const Topology& topology,
+                                                  Rng& rng) const {
+  const auto bad = [](std::string why) {
+    return Error::make("scenario_bad_victim", std::move(why));
+  };
+  const auto& clients = topology.clients();
+  const auto& servers = topology.servers();
+
+  std::vector<Host> set;
+  switch (base_) {
+    case Base::kAllHosts:
+      set.reserve(clients.size() + servers.size());
+      set.insert(set.end(), clients.begin(), clients.end());
+      set.insert(set.end(), servers.begin(), servers.end());
+      break;
+    case Base::kFirstClient:
+      if (clients.empty()) return bad("topology has no clients");
+      set.push_back(clients.front());
+      break;
+    case Base::kClientIndex:
+      if (client_index_ >= clients.size()) {
+        return bad("client_index " + std::to_string(client_index_) +
+                   " out of range (" + std::to_string(clients.size()) +
+                   " clients)");
+      }
+      set.push_back(clients[client_index_]);
+      break;
+    case Base::kAddress: {
+      const auto& hosts = topology.hosts();
+      const auto it = std::find_if(hosts.begin(), hosts.end(),
+                                   [this](const Host& h) {
+                                     return h.endpoint.ip == address_;
+                                   });
+      if (it == hosts.end()) return bad("no campus host owns the address");
+      set.push_back(*it);
+      break;
+    }
+    case Base::kWormSurface:
+      set.reserve(clients.size() + 1);
+      set.insert(set.end(), clients.begin(), clients.end());
+      set.push_back(topology.storage_server());
+      break;
+  }
+
+  if (role_) {
+    std::erase_if(set, [this](const Host& h) { return h.role != *role_; });
+  }
+  if (set.empty()) return bad("victim set is empty after filtering");
+
+  if (pick_) {
+    if (*pick_ == 0) return bad("pick(0) selects nothing");
+    if (*pick_ > set.size()) {
+      return bad("pick(" + std::to_string(*pick_) + ") exceeds the " +
+                 std::to_string(set.size()) + "-host victim set");
+    }
+    // Partial Fisher–Yates: the first k slots become the sample.
+    for (std::size_t i = 0; i < *pick_; ++i) {
+      const std::size_t j = i + rng.below(set.size() - i);
+      std::swap(set[i], set[j]);
+    }
+    set.resize(*pick_);
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario
+
+ScenarioBuilder Scenario::attack(BehaviorKind kind) {
+  return ScenarioBuilder(kind);
+}
+
+Timestamp Scenario::begin() const noexcept {
+  Timestamp t = Timestamp::epoch();
+  bool first = true;
+  for (const auto& p : phases_) {
+    if (first || p.start < t) t = p.start;
+    first = false;
+  }
+  return t;
+}
+
+Timestamp Scenario::end() const noexcept {
+  Timestamp t = Timestamp::epoch();
+  for (const auto& p : phases_) {
+    t = std::max(t, p.start + p.duration);
+  }
+  return t;
+}
+
+Scenario Scenario::then(Scenario next) const {
+  const Duration shift = end() - next.begin();
+  Scenario out = *this;
+  for (auto p : next.phases_) {
+    p.start += shift;
+    out.phases_.push_back(std::move(p));
+  }
+  return out;
+}
+
+Scenario Scenario::alongside(Scenario other) const {
+  Scenario out = *this;
+  for (auto& p : other.phases_) out.phases_.push_back(std::move(p));
+  return out;
+}
+
+Scenario Scenario::triggered(Scenario next, Duration delay) const {
+  const Duration shift = (begin() + delay) - next.begin();
+  Scenario out = *this;
+  for (auto p : next.phases_) {
+    p.start += shift;
+    out.phases_.push_back(std::move(p));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioBuilder
+
+ScenarioBuilder::ScenarioBuilder(BehaviorKind kind) {
+  const ScenarioSpec& spec = scenario_spec(kind);
+  phase_.kind = kind;
+  phase_.shape = spec.default_shape();
+  phase_.intensity = IntensityEnvelope::constant(spec.default_rate_pps);
+  phase_.duration = spec.default_duration;
+  phase_.victim_set = spec.default_victims();
+  phase_.name = std::string(spec.name);
+}
+
+ScenarioBuilder& ScenarioBuilder::intensity(IntensityEnvelope envelope) & {
+  phase_.intensity = envelope;
+  return *this;
+}
+ScenarioBuilder&& ScenarioBuilder::intensity(IntensityEnvelope envelope) && {
+  return std::move(intensity(envelope));
+}
+
+ScenarioBuilder& ScenarioBuilder::rate(double pps) & {
+  return intensity(IntensityEnvelope::constant(pps));
+}
+ScenarioBuilder&& ScenarioBuilder::rate(double pps) && {
+  return std::move(rate(pps));
+}
+
+ScenarioBuilder& ScenarioBuilder::starting_at(Timestamp t) & {
+  phase_.start = t;
+  return *this;
+}
+ScenarioBuilder&& ScenarioBuilder::starting_at(Timestamp t) && {
+  return std::move(starting_at(t));
+}
+
+ScenarioBuilder& ScenarioBuilder::lasting(Duration d) & {
+  phase_.duration = d;
+  return *this;
+}
+ScenarioBuilder&& ScenarioBuilder::lasting(Duration d) && {
+  return std::move(lasting(d));
+}
+
+ScenarioBuilder& ScenarioBuilder::during(Timestamp t0, Timestamp t1) & {
+  phase_.start = t0;
+  phase_.duration = t1 - t0;
+  return *this;
+}
+ScenarioBuilder&& ScenarioBuilder::during(Timestamp t0, Timestamp t1) && {
+  return std::move(during(t0, t1));
+}
+
+ScenarioBuilder& ScenarioBuilder::against(VictimSelector selector) & {
+  phase_.victim_set = selector;
+  return *this;
+}
+ScenarioBuilder&& ScenarioBuilder::against(VictimSelector selector) && {
+  return std::move(against(selector));
+}
+
+ScenarioBuilder& ScenarioBuilder::with(BehaviorShape shape) & {
+  phase_.shape = std::move(shape);
+  return *this;
+}
+ScenarioBuilder&& ScenarioBuilder::with(BehaviorShape shape) && {
+  return std::move(with(std::move(shape)));
+}
+
+ScenarioBuilder& ScenarioBuilder::with_seed(std::uint64_t seed) & {
+  phase_.seed = seed;
+  return *this;
+}
+ScenarioBuilder&& ScenarioBuilder::with_seed(std::uint64_t seed) && {
+  return std::move(with_seed(seed));
+}
+
+ScenarioBuilder& ScenarioBuilder::named(std::string phase_name) & {
+  phase_.name = std::move(phase_name);
+  return *this;
+}
+ScenarioBuilder&& ScenarioBuilder::named(std::string phase_name) && {
+  return std::move(named(std::move(phase_name)));
+}
+
+Scenario ScenarioBuilder::build() const& {
+  Scenario s;
+  s.name = phase_.name;
+  s.phases_.push_back(phase_);
+  return s;
+}
+
+Scenario ScenarioBuilder::build() && {
+  Scenario s;
+  s.name = phase_.name;
+  s.phases_.push_back(std::move(phase_));
+  return s;
+}
+
+}  // namespace campuslab::sim

@@ -8,27 +8,53 @@ CampusSimulator::CampusSimulator(const ScenarioConfig& scenario) {
       *network_, scenario.rates, scenario.campus.seed ^ 0x7AFF1C);
   traffic_->start();
 
-  std::uint64_t salt = 101;
-  for (const auto& cfg : scenario.dns_amplification) {
-    attacks_.push_back(std::make_unique<DnsAmplificationAttack>(cfg));
-    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+  for (const auto& s : scenario.scenarios) {
+    if (const auto armed = add_scenario(s); !armed.ok()) {
+      scenario_errors_.push_back(armed.error());
+    }
   }
-  for (const auto& cfg : scenario.syn_flood) {
-    attacks_.push_back(std::make_unique<SynFloodAttack>(cfg));
-    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+}
+
+CampusSimulator::CampusSimulator(const CampusConfig& campus,
+                                 const Scenario& scenario, AppRates rates) {
+  network_ = std::make_unique<CampusNetwork>(events_, campus);
+  traffic_ =
+      std::make_unique<TrafficGenerator>(*network_, rates,
+                                         campus.seed ^ 0x7AFF1C);
+  traffic_->start();
+
+  if (const auto armed = add_scenario(scenario); !armed.ok()) {
+    scenario_errors_.push_back(armed.error());
   }
-  for (const auto& cfg : scenario.port_scan) {
-    attacks_.push_back(std::make_unique<PortScanAttack>(cfg));
-    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+}
+
+Result<std::uint32_t> CampusSimulator::add_scenario(const Scenario& scenario) {
+  if (scenario.empty()) {
+    return Error::make("scenario_empty", "scenario has no phases");
   }
-  for (const auto& cfg : scenario.ssh_brute_force) {
-    attacks_.push_back(std::make_unique<SshBruteForceAttack>(cfg));
-    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
+  std::uint32_t first_id = 0;
+  for (const auto& phase : scenario.phases()) {
+    ScenarioInstance inst;
+    inst.id = next_instance_id_++;
+    inst.scenario = scenario.name.empty() ? phase.name : scenario.name;
+    inst.phase = phase.name;
+    inst.kind = phase.kind;
+    inst.label = scenario_spec(phase.kind).label;
+    inst.start = phase.start;
+    inst.duration = phase.duration;
+    // Explicit seeds replay a phase exactly regardless of arming order;
+    // implicit ones still consume a salt so sequences stay stable when
+    // one phase in a list is pinned.
+    const std::uint64_t salt_seed = network_->config().seed + next_salt_++;
+    inst.seed = phase.seed.value_or(salt_seed);
+    inst.emitter = make_emitter(phase);
+    const auto status = inst.emitter->start(
+        *network_, EmitContext{inst.seed, inst.id});
+    if (!status.ok()) return status.error();
+    if (first_id == 0) first_id = inst.id;
+    instances_.push_back(std::move(inst));
   }
-  for (const auto& cfg : scenario.flash_crowds) {
-    attacks_.push_back(std::make_unique<FlashCrowdEvent>(cfg));
-    attacks_.back()->start(*network_, scenario.campus.seed + salt++);
-  }
+  return first_id;
 }
 
 }  // namespace campuslab::sim

@@ -79,7 +79,9 @@ struct SegmentFileInfo {
   std::vector<ColumnBytes> columns;
 };
 
-inline constexpr std::uint32_t kSegmentFileVersion = 1;
+// v2: adds the per-flow scenario_id column (after the label column) and
+// widens the label space to kTrafficLabelCount = 7 (worm, exfiltration).
+inline constexpr std::uint32_t kSegmentFileVersion = 2;
 inline constexpr std::size_t kSegmentFileHeaderBytes =
     8 + 4 + 4 + 8 + 8 +                                    // magic..checksum
     4 + 8 + 8 + 8 + 8 + 8 + 8 +                            // zone scalars

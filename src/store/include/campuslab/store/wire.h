@@ -13,9 +13,9 @@
 //   offset  size  field
 //   ------  ----  -----------------------------------------------
 //        0     4  magic "CLRP" (0x434C5250)
-//        4     1  version (1)
+//        4     1  version (2)
 //        5     1  message type (MsgType)
-//        6     2  flags (0 in v1; nonzero rejected)
+//        6     2  flags (0 so far; nonzero rejected)
 //        8     4  shard id (which shard on this server)
 //       12     8  request id (echoed verbatim in the reply)
 //       20     4  body length in bytes
@@ -31,7 +31,7 @@
 // wire_magic, wire_version, wire_flags, wire_type, wire_oversize,
 // wire_truncated, wire_checksum, wire_corrupt — never UB. The fuzz
 // suite (shard_wire_fuzz_test) holds this under ASAN; the golden
-// fixture tests/data/golden_shard_rpc_v1.bin pins the byte format.
+// fixture tests/data/golden_shard_rpc_v2.bin pins the byte format.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +45,10 @@
 namespace campuslab::store::wire {
 
 inline constexpr std::uint32_t kMagic = 0x434C5250;  // "CLRP"
-inline constexpr std::uint8_t kVersion = 1;
+/// v2: the traffic label space widened to kTrafficLabelCount = 7
+/// (worm, exfiltration), which grows the catalog's flows_per_label
+/// column and the per-flow label mask bound. Frame layout unchanged.
+inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::size_t kHeaderSize = 40;
 /// Default bound on one frame body. A query chunk of max_rows flows
 /// stays far below this; anything larger is a protocol violation.

@@ -292,6 +292,11 @@ std::vector<std::uint8_t> encode_segment(const Segment& segment,
   }
   column("labels", static_cast<std::uint64_t>(n) * 40);
 
+  // Scenario instance ids: background flows carry 0, so the column is
+  // one byte per flow outside attack windows.
+  for (const auto& s : flows) put_varint(payload, s.flow.scenario_id);
+  column("scenario_id", static_cast<std::uint64_t>(n) * 4);
+
   // Inverted indexes, keys sorted for deterministic bytes (the golden
   // fixture pins the encoding bit-for-bit).
   std::uint64_t index_entries = 0;
@@ -503,6 +508,11 @@ Result<std::shared_ptr<Segment>> decode_segment(
     for (std::size_t l = 0; l < packet::kTrafficLabelCount; ++l)
       if ((mask >> l) & 1) flows[i].flow.label_packets[l] = d.varint();
   }
+  if (d.failed) return corrupt();
+
+  for (std::uint32_t i = 0; i < n; ++i)
+    flows[i].flow.scenario_id =
+        static_cast<std::uint32_t>(d.varint_at_most(0xFFFFFFFFULL));
   if (d.failed) return corrupt();
 
   const auto read_keyed_index = [&](auto& map, std::uint64_t key_bound,

@@ -116,6 +116,9 @@ void put_rows(ByteWriter& w, const std::vector<StoredFlow>& rows) {
     put_varint(w, mask);
     for (std::size_t i = 0; i < f.label_packets.size(); ++i)
       if (mask & (1ull << i)) put_varint(w, f.label_packets[i]);
+    // scenario_id deliberately stays local to the shard: it is
+    // generation-time provenance, and carrying it would bump the wire
+    // version for a field remote queries never filter on.
   }
 }
 

@@ -35,19 +35,19 @@ testbed::TestbedConfig drift_scenario(std::uint64_t seed,
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig phase1;
-  phase1.start = Timestamp::from_seconds(4);
-  phase1.duration = Duration::seconds(14);
-  phase1.response_rate_pps = 1200;
-  phase1.response_bytes = 2400;
-  cfg.scenario.dns_amplification.push_back(phase1);
-  sim::DnsAmplificationConfig phase2;
-  phase2.start = Timestamp::from_seconds(45);
-  phase2.duration = Duration::seconds(35);
-  phase2.response_rate_pps = phase2_pps;
-  phase2.response_bytes = 300;
-  phase2.reflectors = 20;
-  cfg.scenario.dns_amplification.push_back(phase2);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2400})
+          .rate(1200)
+          .starting_at(Timestamp::from_seconds(4))
+          .lasting(Duration::seconds(14)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 300,
+                                           .reflectors = 20})
+          .rate(phase2_pps)
+          .starting_at(Timestamp::from_seconds(45))
+          .lasting(Duration::seconds(35)));
 
   cfg.collector.labeling.binary_target = TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.5;
@@ -92,7 +92,7 @@ bool audit_has(const ModelRegistry& reg, AuditKind kind) {
 
 TEST(AutomationLoop, BootstrapTrainsAndPromotesVersionOne) {
   auto cfg = drift_scenario(51001);
-  cfg.scenario.dns_amplification.pop_back();  // phase 1 only
+  cfg.scenario.scenarios.pop_back();  // phase 1 only
   testbed::Testbed bed(cfg);
   bed.run(Duration::seconds(20));
 
@@ -131,7 +131,7 @@ TEST(AutomationLoop, RestartRecoversLastPromotedVersionWithoutRetraining) {
 
   {
     auto cfg = drift_scenario(51003);
-    cfg.scenario.dns_amplification.pop_back();
+    cfg.scenario.scenarios.pop_back();
     testbed::Testbed bed(cfg);
     bed.run(Duration::seconds(20));
     auto auto_cfg = small_automation(51003);

@@ -431,11 +431,11 @@ TEST(CaptureIntegration, SimToFlowRecordsWithLabels) {
   sim::ScenarioConfig scenario;
   scenario.campus.seed = 21;
   scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(2);
-  amp.duration = Duration::seconds(5);
-  amp.response_rate_pps = 1000;
-  scenario.dns_amplification.push_back(amp);
+  scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(1000)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(5)));
   sim::CampusSimulator simulator(scenario);
 
   CaptureEngine engine;

@@ -18,19 +18,21 @@ TestbedConfig drift_scenario(std::uint64_t seed) {
   TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig phase1;
-  phase1.start = Timestamp::from_seconds(4);
-  phase1.duration = Duration::seconds(14);
-  phase1.response_rate_pps = 1200;
-  phase1.response_bytes = 2400;
-  cfg.scenario.dns_amplification.push_back(phase1);
-  sim::DnsAmplificationConfig phase2;
-  phase2.start = Timestamp::from_seconds(45);
-  phase2.duration = Duration::seconds(35);
-  phase2.response_rate_pps = 60;    // low and slow, few reflectors,
-  phase2.response_bytes = 300;      // payloads inside the benign DNS
-  phase2.reflectors = 20;           // envelope: a different animal
-  cfg.scenario.dns_amplification.push_back(phase2);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2400})
+          .rate(1200)
+          .starting_at(Timestamp::from_seconds(4))
+          .lasting(Duration::seconds(14)));
+  // Low and slow, few reflectors, payloads inside the benign DNS
+  // envelope: a different animal.
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 300,
+                                           .reflectors = 20})
+          .rate(60)
+          .starting_at(Timestamp::from_seconds(45))
+          .lasting(Duration::seconds(35)));
 
   cfg.collector.labeling.binary_target =
       TrafficLabel::kDnsAmplification;
@@ -66,7 +68,7 @@ TEST(ContinualLoop, StartFailsWithoutAttackData) {
 
 TEST(ContinualLoop, QuietWindowsAreSkippedNotFatal) {
   auto cfg = drift_scenario(41002);
-  cfg.scenario.dns_amplification.pop_back();  // only phase 1
+  cfg.scenario.scenarios.pop_back();  // only phase 1
   Testbed bed(cfg);
   bed.run(Duration::seconds(20));  // training prefix with attack
   ContinualLoop loop(small_continual(41002), bed);

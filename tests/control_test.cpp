@@ -27,12 +27,12 @@ TestbedConfig amp_scenario(std::uint64_t seed, double attack_pps = 2000,
   TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(attack_start_s);
-  amp.duration = Duration::from_seconds(attack_duration_s);
-  amp.response_rate_pps = attack_pps;
-  amp.response_bytes = 2500;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2500})
+          .rate(attack_pps)
+          .starting_at(Timestamp::from_seconds(attack_start_s))
+          .lasting(Duration::from_seconds(attack_duration_s)));
   cfg.collector.labeling.binary_target =
       TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.25;  // balance the classes

@@ -260,11 +260,11 @@ TEST(DatasetBuilder, MulticlassFromSimulatedTraffic) {
   sim::ScenarioConfig scenario;
   scenario.campus.seed = 61;
   scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(3);
-  amp.duration = Duration::seconds(5);
-  amp.response_rate_pps = 800;
-  scenario.dns_amplification.push_back(amp);
+  scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(800)
+          .starting_at(Timestamp::from_seconds(3))
+          .lasting(Duration::seconds(5)));
   sim::CampusSimulator simulator(scenario);
 
   capture::FlowMeter meter;
@@ -277,7 +277,7 @@ TEST(DatasetBuilder, MulticlassFromSimulatedTraffic) {
 
   const auto data = build_flow_dataset(flows);
   EXPECT_EQ(data.n_features(), kFlowFeatureCount);
-  EXPECT_EQ(data.n_classes(), 5);
+  EXPECT_EQ(data.n_classes(), 7);
   EXPECT_EQ(data.n_rows(), flows.size());
   const auto counts = data.class_counts();
   EXPECT_GT(counts[0], 0u);  // benign

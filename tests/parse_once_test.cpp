@@ -56,11 +56,11 @@ std::vector<DecodedPacket> record_trace(std::uint64_t seed = 77) {
   sim::ScenarioConfig scenario;
   scenario.campus.seed = seed;
   scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(1);
-  amp.duration = Duration::seconds(3);
-  amp.response_rate_pps = 600;
-  scenario.dns_amplification.push_back(amp);
+  scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(600)
+          .starting_at(Timestamp::from_seconds(1))
+          .lasting(Duration::seconds(3)));
 
   sim::CampusSimulator simulator(scenario);
   std::vector<DecodedPacket> trace;
@@ -135,12 +135,12 @@ TEST(ParseOnce, FastLoopVerdictsIdentical) {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = 2024;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(5);
-  amp.duration = Duration::seconds(20);
-  amp.response_rate_pps = 2000;
-  amp.response_bytes = 2500;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2500})
+          .rate(2000)
+          .starting_at(Timestamp::from_seconds(5))
+          .lasting(Duration::seconds(20)));
   cfg.collector.labeling.binary_target =
       packet::TrafficLabel::kDnsAmplification;
   cfg.collector.attack_sample_rate = 0.25;

@@ -9,7 +9,7 @@
 // RAM, at several thread counts; and a failing disk must degrade
 // gracefully (segments stay hot, retries counted in obs).
 //
-// The golden fixture (tests/data/golden_segment_v1.clseg) pins the
+// The golden fixture (tests/data/golden_segment_v2.clseg) pins the
 // on-disk bytes — magic, version, column layout. An intentional format
 // change regenerates it with CAMPUSLAB_UPDATE_GOLDEN=1 and bumps
 // kSegmentFileVersion; an accidental one fails here loudly.
@@ -84,6 +84,7 @@ FlowRecord random_flow(std::mt19937_64& rng) {
   f.saw_dns = rng() % 5 == 0;
   if (rng() % 3 != 0)
     f.label_packets[rng() % packet::kTrafficLabelCount] = 1 + rng() % 1000;
+  if (rng() % 4 == 0) f.scenario_id = 1 + rng() % 1000;
   return f;
 }
 
@@ -146,6 +147,7 @@ void expect_flow_equal(const StoredFlow& got, const StoredFlow& want) {
   EXPECT_EQ(g.psh_count, w.psh_count);
   EXPECT_EQ(g.saw_dns, w.saw_dns);
   EXPECT_EQ(g.label_packets, w.label_packets);
+  EXPECT_EQ(g.scenario_id, w.scenario_id);
 }
 
 void expect_segment_equal(const Segment& got, const Segment& want) {
@@ -456,7 +458,7 @@ TEST(SegmentFile, FailedSpillKeepsSegmentHot) {
 
 std::filesystem::path golden_path() {
   return std::filesystem::path(CAMPUSLAB_TEST_DATA_DIR) /
-         "golden_segment_v1.clseg";
+         "golden_segment_v2.clseg";
 }
 
 // A small, fully deterministic segment: fixed flows, fixed ids.
@@ -475,6 +477,9 @@ std::shared_ptr<Segment> golden_segment() {
     f.fwd_packets = 2;
     f.rev_packets = 1;
     f.psh_count = static_cast<std::uint32_t>(i);
+    // Pin the v2 scenario_id column with a mix of background (0) and
+    // attack-scenario flows.
+    f.scenario_id = i % 5 == 0 ? 3u : 0u;
     flows.push_back(f);
   }
   return make_segment(flows, 1000);
@@ -487,7 +492,7 @@ TEST(SegmentFile, GoldenFixturePinsFormat) {
   ASSERT_GE(bytes.size(), kSegmentFileHeaderBytes);
   const std::uint8_t magic[8] = {'C', 'L', 'S', 'E', 'G', '0', '1', '\n'};
   EXPECT_TRUE(std::equal(magic, magic + 8, bytes.begin()));
-  EXPECT_EQ(bytes[8], 0u);  // version u32 big-endian == 1
+  EXPECT_EQ(bytes[8], 0u);  // version u32 big-endian == kSegmentFileVersion
   EXPECT_EQ(bytes[9], 0u);
   EXPECT_EQ(bytes[10], 0u);
   EXPECT_EQ(bytes[11], kSegmentFileVersion);

@@ -30,11 +30,11 @@ TEST(Sensors, PortScanLightsUpTheFirewall) {
   TestbedConfig cfg;
   cfg.scenario.campus.seed = 51002;
   cfg.scenario.campus.diurnal = false;
-  sim::PortScanConfig scan;
-  scan.start = Timestamp::from_seconds(2);
-  scan.duration = Duration::seconds(15);
-  scan.probe_rate_pps = 200;
-  cfg.scenario.port_scan.push_back(scan);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kPortScan)
+          .rate(200)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(15)));
   Testbed bed(cfg);
   bed.run(Duration::seconds(20));
 
@@ -50,11 +50,11 @@ TEST(Sensors, BruteForceFillsTheAuthLog) {
   TestbedConfig cfg;
   cfg.scenario.campus.seed = 51003;
   cfg.scenario.campus.diurnal = false;
-  sim::SshBruteForceConfig brute;
-  brute.start = Timestamp::from_seconds(2);
-  brute.duration = Duration::seconds(15);
-  brute.attempts_per_second = 20;
-  cfg.scenario.ssh_brute_force.push_back(brute);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kSshBruteForce)
+          .rate(20)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(15)));
   Testbed bed(cfg);
   bed.run(Duration::seconds(20));
 
@@ -68,12 +68,12 @@ TEST(Sensors, AmplificationTriggersIdsSamples) {
   TestbedConfig cfg;
   cfg.scenario.campus.seed = 51004;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(2);
-  amp.duration = Duration::seconds(12);
-  amp.response_rate_pps = 2000;
-  amp.response_bytes = 2500;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2500})
+          .rate(2000)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(12)));
   cfg.collector.benign_sample_rate = 0.01;
   cfg.collector.attack_sample_rate = 0.01;
   Testbed bed(cfg);
@@ -96,12 +96,12 @@ TEST(Timeline, MergesFlowsAndLogsChronologically) {
   TestbedConfig cfg;
   cfg.scenario.campus.seed = 51006;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(5);
-  amp.duration = Duration::seconds(8);
-  amp.response_rate_pps = 800;
-  amp.response_bytes = 2500;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .with(sim::DnsAmplificationShape{.response_bytes = 2500})
+          .rate(800)
+          .starting_at(Timestamp::from_seconds(5))
+          .lasting(Duration::seconds(8)));
   cfg.collector.benign_sample_rate = 0.01;
   cfg.collector.attack_sample_rate = 0.01;
   Testbed bed(cfg);

@@ -2,8 +2,8 @@
 // bit-exactly through its codec, the frame layer rejects each class of
 // damage with its stable error code, the incremental FrameAssembler
 // reproduces frames from arbitrary byte-stream choppings, and the
-// committed golden fixture tests/data/golden_shard_rpc_v1.bin pins the
-// v1 byte format (regenerate with CAMPUSLAB_UPDATE_GOLDEN=1 after an
+// committed golden fixture tests/data/golden_shard_rpc_v2.bin pins the
+// v2 byte format (regenerate with CAMPUSLAB_UPDATE_GOLDEN=1 after an
 // intentional format change, and bump wire::kVersion).
 #include <gtest/gtest.h>
 
@@ -524,7 +524,7 @@ TEST(WireAssembler, PoisonsPermanentlyOnViolation) {
 
 // ------------------------------------------------------ golden fixture
 
-// One deterministic frame per v1 message type, concatenated. Any byte
+// One deterministic frame per message type, concatenated. Any byte
 // change in the committed fixture is a wire-format break: bump
 // wire::kVersion and regenerate with CAMPUSLAB_UPDATE_GOLDEN=1.
 std::vector<std::uint8_t> golden_stream() {
@@ -631,10 +631,10 @@ std::vector<std::uint8_t> golden_stream() {
 }
 
 std::string golden_path() {
-  return std::string(CAMPUSLAB_TEST_DATA_DIR) + "/golden_shard_rpc_v1.bin";
+  return std::string(CAMPUSLAB_TEST_DATA_DIR) + "/golden_shard_rpc_v2.bin";
 }
 
-TEST(WireGolden, FixturePinsV1ByteFormat) {
+TEST(WireGolden, FixturePinsV2ByteFormat) {
   const auto bytes = golden_stream();
 
   // Layout invariants independent of the fixture file.

@@ -58,11 +58,11 @@ std::vector<TaggedPacket> record_trace() {
   sim::ScenarioConfig scenario;
   scenario.campus.seed = 1234;
   scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(2);
-  amp.duration = Duration::seconds(3);
-  amp.response_rate_pps = 800;
-  scenario.dns_amplification.push_back(amp);
+  scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(800)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(3)));
 
   sim::CampusSimulator simulator(scenario);
   std::vector<TaggedPacket> trace;

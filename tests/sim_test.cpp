@@ -1,6 +1,6 @@
 // Tests for campuslab::sim — event queue semantics, link queueing and
 // tail-drop, topology/address-plan determinism, border accounting
-// conservation, benign traffic realism, and attack injector behaviour.
+// conservation, benign traffic realism, and attack scenario behaviour.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -459,13 +459,13 @@ TEST_F(TrafficFixture, DnsAmplificationShape) {
   ScenarioConfig scenario;
   scenario.campus.seed = 5;
   scenario.campus.diurnal = false;
-  DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(2);
-  amp.duration = Duration::seconds(6);
-  amp.response_rate_pps = 2000;
-  amp.response_bytes = 2500;
-  amp.reflectors = 50;
-  scenario.dns_amplification.push_back(amp);
+  scenario.scenarios.push_back(
+      Scenario::attack(BehaviorKind::kDnsAmplification)
+          .with(DnsAmplificationShape{.response_bytes = 2500,
+                                      .reflectors = 50})
+          .rate(2000)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(6)));
   run_scenario(scenario, Duration::seconds(10));
 
   std::set<std::uint32_t> reflector_ips;
@@ -502,11 +502,10 @@ TEST_F(TrafficFixture, DnsAmplificationShape) {
 TEST_F(TrafficFixture, SynFloodShape) {
   ScenarioConfig scenario;
   scenario.campus.seed = 6;
-  SynFloodConfig flood;
-  flood.start = Timestamp::from_seconds(1);
-  flood.duration = Duration::seconds(4);
-  flood.syn_rate_pps = 1500;
-  scenario.syn_flood.push_back(flood);
+  scenario.scenarios.push_back(Scenario::attack(BehaviorKind::kSynFlood)
+                                   .rate(1500)
+                                   .starting_at(Timestamp::from_seconds(1))
+                                   .lasting(Duration::seconds(4)));
   run_scenario(scenario, Duration::seconds(6));
 
   std::set<std::uint32_t> sources;
@@ -530,11 +529,10 @@ TEST_F(TrafficFixture, SynFloodShape) {
 TEST_F(TrafficFixture, PortScanTouchesManyHostsAndPorts) {
   ScenarioConfig scenario;
   scenario.campus.seed = 8;
-  PortScanConfig scan;
-  scan.start = Timestamp::from_seconds(0);
-  scan.duration = Duration::seconds(10);
-  scan.probe_rate_pps = 400;
-  scenario.port_scan.push_back(scan);
+  scenario.scenarios.push_back(Scenario::attack(BehaviorKind::kPortScan)
+                                   .rate(400)
+                                   .starting_at(Timestamp::from_seconds(0))
+                                   .lasting(Duration::seconds(10)));
   run_scenario(scenario, Duration::seconds(10));
 
   std::set<std::uint32_t> scanned_hosts;
@@ -556,11 +554,11 @@ TEST_F(TrafficFixture, PortScanTouchesManyHostsAndPorts) {
 TEST_F(TrafficFixture, SshBruteForceHammersGateway) {
   ScenarioConfig scenario;
   scenario.campus.seed = 9;
-  SshBruteForceConfig brute;
-  brute.start = Timestamp::from_seconds(0);
-  brute.duration = Duration::seconds(10);
-  brute.attempts_per_second = 10;
-  scenario.ssh_brute_force.push_back(brute);
+  scenario.scenarios.push_back(
+      Scenario::attack(BehaviorKind::kSshBruteForce)
+          .rate(10)
+          .starting_at(Timestamp::from_seconds(0))
+          .lasting(Duration::seconds(10)));
   run_scenario(scenario, Duration::seconds(10));
 
   std::size_t attempts = 0;
@@ -583,12 +581,12 @@ TEST_F(TrafficFixture, AttackCongestionCausesBenignAccessLoss) {
   ScenarioConfig scenario;
   scenario.campus.seed = 12;
   scenario.campus.diurnal = false;
-  DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(1);
-  amp.duration = Duration::seconds(3);
-  amp.response_rate_pps = 120'000;
-  amp.response_bytes = 2800;
-  scenario.dns_amplification.push_back(amp);
+  scenario.scenarios.push_back(
+      Scenario::attack(BehaviorKind::kDnsAmplification)
+          .with(DnsAmplificationShape{.response_bytes = 2800})
+          .rate(120'000)
+          .starting_at(Timestamp::from_seconds(1))
+          .lasting(Duration::seconds(3)));
   // ~400k attack packets: count at the tap instead of storing them.
   CampusSimulator simulator(scenario);
   std::uint64_t tapped = 0;

@@ -19,21 +19,21 @@ ml::Dataset collect(TrafficLabel target, std::uint64_t seed) {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = seed;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(4);
-  amp.duration = Duration::seconds(18);
-  amp.response_rate_pps = 1200;
-  cfg.scenario.dns_amplification.push_back(amp);
-  sim::SynFloodConfig flood;
-  flood.start = Timestamp::from_seconds(6);
-  flood.duration = Duration::seconds(16);
-  flood.syn_rate_pps = 1200;
-  cfg.scenario.syn_flood.push_back(flood);
-  sim::SshBruteForceConfig brute;
-  brute.start = Timestamp::from_seconds(2);
-  brute.duration = Duration::seconds(22);
-  brute.attempts_per_second = 20;
-  cfg.scenario.ssh_brute_force.push_back(brute);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(1200)
+          .starting_at(Timestamp::from_seconds(4))
+          .lasting(Duration::seconds(18)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kSynFlood)
+          .rate(1200)
+          .starting_at(Timestamp::from_seconds(6))
+          .lasting(Duration::seconds(16)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kSshBruteForce)
+          .rate(20)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(22)));
 
   cfg.collector.labeling.binary_target = target;
   cfg.collector.attack_sample_rate = 0.5;
@@ -105,21 +105,21 @@ TEST_F(TaskManagerFixture, ThreeConcurrentTasksEachCatchTheirAttack) {
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = 4444;
   cfg.scenario.campus.diurnal = false;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(3);
-  amp.duration = Duration::seconds(15);
-  amp.response_rate_pps = 1500;
-  cfg.scenario.dns_amplification.push_back(amp);
-  sim::SynFloodConfig flood;
-  flood.start = Timestamp::from_seconds(3);
-  flood.duration = Duration::seconds(15);
-  flood.syn_rate_pps = 1500;
-  cfg.scenario.syn_flood.push_back(flood);
-  sim::SshBruteForceConfig brute;
-  brute.start = Timestamp::from_seconds(3);
-  brute.duration = Duration::seconds(15);
-  brute.attempts_per_second = 25;
-  cfg.scenario.ssh_brute_force.push_back(brute);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(1500)
+          .starting_at(Timestamp::from_seconds(3))
+          .lasting(Duration::seconds(15)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kSynFlood)
+          .rate(1500)
+          .starting_at(Timestamp::from_seconds(3))
+          .lasting(Duration::seconds(15)));
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kSshBruteForce)
+          .rate(25)
+          .starting_at(Timestamp::from_seconds(3))
+          .lasting(Duration::seconds(15)));
   cfg.collector.benign_sample_rate = 0.01;
   cfg.collector.attack_sample_rate = 0.01;
   testbed::Testbed bed(cfg);
@@ -214,11 +214,11 @@ TEST_F(TaskManagerFixture, DisarmedTaskDoesNotDrop) {
 
   testbed::TestbedConfig cfg;
   cfg.scenario.campus.seed = 5555;
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(1);
-  amp.duration = Duration::seconds(5);
-  amp.response_rate_pps = 500;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(500)
+          .starting_at(Timestamp::from_seconds(1))
+          .lasting(Duration::seconds(5)));
   cfg.collector.benign_sample_rate = 0.01;
   cfg.collector.attack_sample_rate = 0.01;
   testbed::Testbed bed(cfg);

@@ -21,11 +21,11 @@ TestbedConfig base_config(std::uint64_t seed) {
 
 TEST(Testbed, PipelineWiringPopulatesStoreAndCollector) {
   auto cfg = base_config(31001);
-  sim::DnsAmplificationConfig amp;
-  amp.start = Timestamp::from_seconds(2);
-  amp.duration = Duration::seconds(4);
-  amp.response_rate_pps = 500;
-  cfg.scenario.dns_amplification.push_back(amp);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kDnsAmplification)
+          .rate(500)
+          .starting_at(Timestamp::from_seconds(2))
+          .lasting(Duration::seconds(4)));
   cfg.collector.labeling.attack_vs_benign = true;
   Testbed bed(cfg);
   bed.run(Duration::seconds(8));
@@ -108,11 +108,11 @@ TEST_F(ArchiveTestbedFixture, MissingDirectoryDisablesArchive) {
 
 TEST(Testbed, FlashCrowdScenarioStaysBenign) {
   auto cfg = base_config(31005);
-  sim::FlashCrowdConfig crowd;
-  crowd.start = Timestamp::from_seconds(1);
-  crowd.duration = Duration::seconds(4);
-  crowd.rate_pps = 800;
-  cfg.scenario.flash_crowds.push_back(crowd);
+  cfg.scenario.scenarios.push_back(
+      sim::Scenario::attack(sim::BehaviorKind::kFlashCrowd)
+          .rate(800)
+          .starting_at(Timestamp::from_seconds(1))
+          .lasting(Duration::seconds(4)));
   Testbed bed(cfg);
   bed.run(Duration::seconds(6));
   // The crowd dominated inbound traffic, yet nothing is labelled attack.
